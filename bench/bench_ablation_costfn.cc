@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cost-function feature ablation (design-choice study, DESIGN.md):
+ * drops one Eqn. 1 feature at a time — resource queueing delay, data
+ * movement latency, data dependence delay — and measures the impact
+ * on the workloads most sensitive to contention.
+ *
+ * This quantifies why the *holistic* cost function matters (§6.1):
+ * removing queue awareness degenerates toward DM-Offloading's
+ * contention blindness; removing movement awareness degenerates
+ * toward BW-Offloading's transfer storms.
+ */
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace conduit;
+    using namespace conduit::bench;
+
+    Simulation sim;
+
+    struct Variant
+    {
+        const char *label;
+        ConduitPolicy::Ablation ab;
+    };
+    const Variant variants[] = {
+        {"Conduit (full)", {}},
+        {"no queue delay", {false, true, true}},
+        {"no dm latency", {true, false, true}},
+        {"no dep delay", {true, true, false}},
+        {"comp only", {false, false, false}},
+    };
+
+    std::printf("Ablation: Conduit cost-function features "
+                "(execution time normalized to full Conduit)\n\n");
+    std::printf("%-18s", "workload");
+    for (const auto &v : variants)
+        std::printf(" %16s", v.label);
+    std::printf("\n");
+
+    for (WorkloadId id :
+         {WorkloadId::LlamaInference, WorkloadId::Heat3d,
+          WorkloadId::LlmTraining, WorkloadId::Aes}) {
+        double base = 0.0;
+        std::printf("%-18s", workloadName(id).c_str());
+        for (const auto &v : variants) {
+            ConduitPolicy policy(v.ab);
+            auto r = sim.run(id, policy);
+            const double t = static_cast<double>(r.execTime);
+            if (base == 0.0)
+                base = t;
+            std::printf(" %15.2fx", t / base);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(values > 1.0 mean the ablated variant is slower "
+                "than full Conduit)\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reproduces the Fig. 4 case study: overall execution time of OSP
+ * (host CPU), ISP, IFP, and naive IFP+ISP, normalized to OSP, for
+ * three workload categories, with the stacked breakdown (compute,
+ * host-SSD data movement, SSD-internal data movement, flash read).
+ *
+ * Paper shape: IFP wins the I/O-intensive category (~0.30 of OSP);
+ * naively adding ISP to IFP *hurts* there (inter-resource movement);
+ * IFP+ISP wins the compute-intensive and mixed categories.
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace conduit;
+
+/** Normalized stacked breakdown of one execution model. */
+struct Bar
+{
+    double total;
+    double compute, host_dm, internal_dm, flash_read;
+};
+
+Bar
+toBar(const RunResult &r, double osp_time)
+{
+    Bar b{};
+    b.total = static_cast<double>(r.execTime) / osp_time;
+    // Decompose wall-clock proportionally to attributed busy time.
+    const double busy = static_cast<double>(
+        r.computeBusy + r.hostDmBusy + r.internalDmBusy +
+        r.flashReadBusy);
+    if (busy <= 0)
+        return b;
+    b.compute = b.total * static_cast<double>(r.computeBusy) / busy;
+    b.host_dm = b.total * static_cast<double>(r.hostDmBusy) / busy;
+    b.internal_dm =
+        b.total * static_cast<double>(r.internalDmBusy) / busy;
+    b.flash_read =
+        b.total * static_cast<double>(r.flashReadBusy) / busy;
+    return b;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace conduit;
+    using namespace conduit::bench;
+
+    Simulation sim;
+    const Vectorizer vec(
+        [&] {
+            VectorizeOptions vo;
+            vo.vectorLanes = sim.options().config.vectorLanes;
+            vo.pageBytes = sim.options().config.nand.pageBytes;
+            return vo;
+        }());
+
+    std::printf("Fig. 4: case study — execution models normalized to "
+                "OSP (lower is better)\n\n");
+    std::printf("%-24s %-9s %7s %8s %8s %8s %8s\n", "category", "model",
+                "total", "compute", "hostDM", "intDM", "flashRd");
+
+    for (CaseStudyClass c :
+         {CaseStudyClass::IoIntensive, CaseStudyClass::ComputeIntensive,
+          CaseStudyClass::Mixed}) {
+        const LoopProgram lp = buildCaseStudy(c, sim.options().workload);
+        const VectorizedProgram vp = vec.run(lp);
+
+        const RunResult osp = sim.runHostProgram(vp.program, false);
+        const double osp_time = static_cast<double>(osp.execTime);
+
+        struct Model
+        {
+            const char *name;
+            const char *policy;
+        };
+        const Model models[] = {{"ISP", "ISP"},
+                                {"IFP", "Flash-Cosmos"},
+                                {"IFP+ISP", "Ares-Flash"}};
+
+        Bar osp_bar = toBar(osp, osp_time);
+        std::printf("%-24s %-9s %7.2f %8.2f %8.2f %8.2f %8.2f\n",
+                    caseStudyName(c).c_str(), "OSP", osp_bar.total,
+                    osp_bar.compute, osp_bar.host_dm,
+                    osp_bar.internal_dm, osp_bar.flash_read);
+        for (const auto &m : models) {
+            auto policy = makePolicy(m.policy);
+            const RunResult r = sim.runProgram(vp.program, *policy);
+            Bar bar = toBar(r, osp_time);
+            std::printf("%-24s %-9s %7.2f %8.2f %8.2f %8.2f %8.2f\n",
+                        "", m.name, bar.total, bar.compute, bar.host_dm,
+                        bar.internal_dm, bar.flash_read);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("paper shape: IFP ~0.30 of OSP on I/O-intensive "
+                "(IFP+ISP ~15%% worse than IFP there);\n"
+                "IFP+ISP best on compute-intensive (+28%% over IFP) "
+                "and mixed (+40%% over IFP).\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Fig. 5: speedup of GPU, ISP, PuD-SSD, Flash-Cosmos,
+ * Ares-Flash, BW-Offloading, DM-Offloading and Ideal over the host
+ * CPU, per workload plus the geometric mean.
+ *
+ * Paper shape: DM-Offloading is the best prior technique (~2.3x CPU
+ * average), BW-Offloading trails it, the Ideal policy leads all
+ * realizable techniques by ~2.5x over DM-Offloading, and the GPU
+ * wins on the highly data-parallel stencils.
+ */
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace conduit;
+    using namespace conduit::bench;
+
+    Simulation sim;
+    std::printf("Fig. 5: speedup over CPU (motivation, prior "
+                "techniques only)\n\n");
+    printHeader(motivationTechniques());
+
+    std::map<std::string, std::vector<double>> speedups;
+    for (WorkloadId id : allWorkloads()) {
+        const double cpu = static_cast<double>(
+            runTechnique(sim, id, "CPU").execTime);
+        std::printf("%-18s", workloadName(id).c_str());
+        for (const auto &t : motivationTechniques()) {
+            const double s =
+                cpu / static_cast<double>(
+                          runTechnique(sim, id, t).execTime);
+            speedups[t].push_back(s);
+            std::printf(" %13.2fx", s);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-18s", "GMEAN");
+    for (const auto &t : motivationTechniques())
+        std::printf(" %13.2fx", gmean(speedups[t]));
+    std::printf("\n\n");
+
+    const double dm = gmean(speedups["DM-Offloading"]);
+    const double bw = gmean(speedups["BW-Offloading"]);
+    const double ideal = gmean(speedups["Ideal"]);
+    std::printf("key observations (paper values in brackets):\n");
+    std::printf("  best prior technique: %s\n",
+                dm >= bw ? "DM-Offloading [DM-Offloading]"
+                         : "BW-Offloading [DM-Offloading]");
+    std::printf("  DM-Offloading vs CPU:      %5.2fx  [2.3x]\n", dm);
+    std::printf("  BW-Offloading vs CPU:      %5.2fx  [2.1x]\n", bw);
+    std::printf("  Ideal gap over DM:         %5.2fx  [2.5x]\n",
+                ideal / dm);
+    return 0;
+}

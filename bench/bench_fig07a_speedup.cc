@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Fig. 7(a): speedup of Conduit and all baselines over
+ * the host CPU across the six workloads.
+ *
+ * Paper shape: Conduit averages 4.2x over CPU, 1.8x over the best
+ * prior offloading policy (DM-Offloading), 2.0x over BW-Offloading,
+ * and reaches ~62% of the unrealizable Ideal policy; gains are
+ * largest on the compute-intensive workloads and smallest on the
+ * memory-bound AES / XOR Filter.
+ */
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace conduit;
+    using namespace conduit::bench;
+
+    Simulation sim;
+    std::printf("Fig. 7(a): speedup over CPU (evaluation)\n\n");
+    printHeader(evaluationTechniques());
+
+    std::map<std::string, std::vector<double>> speedups;
+    for (WorkloadId id : allWorkloads()) {
+        const double cpu = static_cast<double>(
+            runTechnique(sim, id, "CPU").execTime);
+        std::printf("%-18s", workloadName(id).c_str());
+        for (const auto &t : evaluationTechniques()) {
+            const double s =
+                cpu / static_cast<double>(
+                          runTechnique(sim, id, t).execTime);
+            speedups[t].push_back(s);
+            std::printf(" %13.2fx", s);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-18s", "GMEAN");
+    for (const auto &t : evaluationTechniques())
+        std::printf(" %13.2fx", gmean(speedups[t]));
+    std::printf("\n\n");
+
+    const double conduit = gmean(speedups["Conduit"]);
+    std::printf("key observations (paper values in brackets):\n");
+    std::printf("  Conduit vs CPU:            %5.2fx  [4.2x]\n",
+                conduit);
+    std::printf("  Conduit vs GPU:            %5.2fx  [1.8x]\n",
+                conduit / gmean(speedups["GPU"]));
+    std::printf("  Conduit vs ISP:            %5.2fx  [3.3x]\n",
+                conduit / gmean(speedups["ISP"]));
+    std::printf("  Conduit vs PuD-SSD:        %5.2fx  [2.2x]\n",
+                conduit / gmean(speedups["PuD-SSD"]));
+    std::printf("  Conduit vs Flash-Cosmos:   %5.2fx  [3.3x]\n",
+                conduit / gmean(speedups["Flash-Cosmos"]));
+    std::printf("  Conduit vs Ares-Flash:     %5.2fx  [2.3x]\n",
+                conduit / gmean(speedups["Ares-Flash"]));
+    std::printf("  Conduit vs BW-Offloading:  %5.2fx  [2.0x]\n",
+                conduit / gmean(speedups["BW-Offloading"]));
+    std::printf("  Conduit vs DM-Offloading:  %5.2fx  [1.8x]\n",
+                conduit / gmean(speedups["DM-Offloading"]));
+    std::printf("  Conduit / Ideal:           %5.0f%%  [62%%]\n",
+                100.0 * conduit / gmean(speedups["Ideal"]));
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Fig. 7(b): energy consumption normalized to CPU, with
+ * the data-movement vs computation breakdown per technique.
+ *
+ * Paper shape: Conduit reduces energy by 78.2% vs CPU, 58.2% vs GPU,
+ * 46.8% vs DM-Offloading (the most energy-efficient prior policy),
+ * and reaches ~68% of Ideal's efficiency.
+ */
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace conduit;
+    using namespace conduit::bench;
+
+    Simulation sim;
+    std::printf("Fig. 7(b): energy normalized to CPU "
+                "(dm = data movement share)\n\n");
+
+    std::map<std::string, std::vector<double>> ratio;
+    printHeader(evaluationTechniques());
+    for (WorkloadId id : allWorkloads()) {
+        const double cpu = runTechnique(sim, id, "CPU").energyJ();
+        std::printf("%-18s", workloadName(id).c_str());
+        for (const auto &t : evaluationTechniques()) {
+            auto r = runTechnique(sim, id, t);
+            const double norm = r.energyJ() / cpu;
+            const double dm_share =
+                r.energyJ() > 0 ? r.dmEnergyJ / r.energyJ() : 0.0;
+            ratio[t].push_back(norm);
+            std::printf(" %6.3f(dm%3.0f%%)", norm, 100.0 * dm_share);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-18s", "GMEAN");
+    for (const auto &t : evaluationTechniques())
+        std::printf(" %14.3f", gmean(ratio[t]));
+    std::printf("\n\n");
+
+    const double conduit = gmean(ratio["Conduit"]);
+    auto saving = [&](const char *t) {
+        return 100.0 * (1.0 - conduit / gmean(ratio[t]));
+    };
+    std::printf("key observations (paper values in brackets):\n");
+    std::printf("  Conduit energy saving vs CPU:   %5.1f%%  [78.2%%]\n",
+                100.0 * (1.0 - conduit));
+    std::printf("  Conduit energy saving vs GPU:   %5.1f%%  [58.2%%]\n",
+                saving("GPU"));
+    std::printf("  Conduit energy saving vs ISP:   %5.1f%%  [67.3%%]\n",
+                saving("ISP"));
+    std::printf("  Conduit energy saving vs PuD:   %5.1f%%  [60.6%%]\n",
+                saving("PuD-SSD"));
+    std::printf("  Conduit saving vs Flash-Cosmos: %5.1f%%  [68.0%%]\n",
+                saving("Flash-Cosmos"));
+    std::printf("  Conduit saving vs Ares-Flash:   %5.1f%%  [57.4%%]\n",
+                saving("Ares-Flash"));
+    std::printf("  Conduit saving vs BW-Offload:   %5.1f%%  [47.8%%]\n",
+                saving("BW-Offloading"));
+    std::printf("  Conduit saving vs DM-Offload:   %5.1f%%  [46.8%%]\n",
+                saving("DM-Offloading"));
+    std::printf("  Ideal efficiency reached:       %5.0f%%  [68%%]\n",
+                100.0 * gmean(ratio["Ideal"]) / conduit);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Fig. 9: the fraction of instructions offloaded to each
+ * SSD computation resource (ISP, PuD-SSD, IFP) under BW-Offloading,
+ * DM-Offloading, Conduit, and Ideal, for every workload.
+ *
+ * Paper shape: Conduit's distribution tracks Ideal's; memory-bound
+ * workloads use ISP very sparingly (0.4%/0.6% on AES/XOR Filter);
+ * LlaMA2 Inference splits between PuD-SSD and ISP and avoids IFP
+ * (multiplication shuttles); DM-Offloading over-concentrates on IFP.
+ */
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace conduit;
+    using namespace conduit::bench;
+
+    Simulation sim;
+    const char *policies[] = {"BW-Offloading", "DM-Offloading",
+                              "Conduit", "Ideal"};
+
+    std::printf("Fig. 9: fraction of instructions per computation "
+                "resource\n\n");
+    std::printf("%-18s %-16s %8s %8s %8s\n", "workload", "policy",
+                "ISP", "PuD-SSD", "IFP");
+    for (WorkloadId id : allWorkloads()) {
+        bool first = true;
+        for (const char *p : policies) {
+            auto r = runTechnique(sim, id, p);
+            const double n = static_cast<double>(r.instrCount);
+            std::printf("%-18s %-16s %7.1f%% %7.1f%% %7.1f%%\n",
+                        first ? workloadName(id).c_str() : "", p,
+                        100.0 * r.perResource[0] / n,
+                        100.0 * r.perResource[1] / n,
+                        100.0 * r.perResource[2] / n);
+            first = false;
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces Fig. 10: the instruction-to-resource mapping over the
+ * execution of LlaMA2 Inference under BW-Offloading, DM-Offloading
+ * and Conduit, alongside the operation stream.
+ *
+ * Rendered as a run-length-encoded strip per policy plus windowed
+ * resource shares, exposing the paper's phases: BW-Offloading
+ * thrashes between resources; DM-Offloading pins the arithmetic
+ * phases to flash; Conduit executes locality-friendly additions in
+ * flash, multiplications in DRAM, and control on the core.
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace conduit;
+
+char
+resourceChar(std::uint8_t t)
+{
+    switch (static_cast<Target>(t)) {
+      case Target::Isp: return 'C'; // controller core
+      case Target::Pud: return 'D'; // DRAM
+      case Target::Ifp: return 'F'; // flash
+    }
+    return '?';
+}
+
+void
+printStrip(const RunResult &r, std::size_t buckets)
+{
+    // Majority resource per bucket of the instruction stream.
+    const std::size_t n = r.resourceTrace.size();
+    std::printf("  ");
+    for (std::size_t b = 0; b < buckets; ++b) {
+        const std::size_t lo = b * n / buckets;
+        const std::size_t hi = (b + 1) * n / buckets;
+        int count[3] = {0, 0, 0};
+        for (std::size_t i = lo; i < hi && i < n; ++i)
+            ++count[r.resourceTrace[i] % 3];
+        int best = 0;
+        for (int t = 1; t < 3; ++t)
+            if (count[t] > count[best])
+                best = t;
+        std::printf("%c", resourceChar(static_cast<std::uint8_t>(best)));
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace conduit;
+    using namespace conduit::bench;
+
+    SimOptions so;
+    so.engine.recordTimeline = true;
+    Simulation sim(so);
+
+    std::printf("Fig. 10: instruction-to-resource mapping, LlaMA2 "
+                "Inference\n");
+    std::printf("legend: C = controller core (ISP), D = SSD DRAM "
+                "(PuD), F = flash (IFP)\n\n");
+
+    // Operation stream (one strip: dominant op class per bucket).
+    {
+        auto r = sim.run(WorkloadId::LlamaInference, "Conduit");
+        const std::size_t n = r.opTrace.size();
+        std::printf("operations (a=add/sub, m=mul/mac, o=other), %zu "
+                    "instructions:\n  ",
+                    n);
+        const std::size_t buckets = 96;
+        for (std::size_t b = 0; b < buckets; ++b) {
+            const std::size_t lo = b * n / buckets;
+            const std::size_t hi = (b + 1) * n / buckets;
+            int add = 0, mul = 0, other = 0;
+            for (std::size_t i = lo; i < hi && i < n; ++i) {
+                const auto op = static_cast<OpCode>(r.opTrace[i]);
+                if (op == OpCode::Add || op == OpCode::Sub)
+                    ++add;
+                else if (op == OpCode::Mul || op == OpCode::Mac)
+                    ++mul;
+                else
+                    ++other;
+            }
+            std::printf("%c", add >= mul && add >= other ? 'a'
+                              : mul >= other             ? 'm'
+                                                         : 'o');
+        }
+        std::printf("\n\n");
+    }
+
+    for (const char *p :
+         {"BW-Offloading", "DM-Offloading", "Conduit"}) {
+        auto r = sim.run(WorkloadId::LlamaInference, p);
+        std::printf("%s:\n", p);
+        printStrip(r, 96);
+        // Switch count: how often consecutive instructions change
+        // resource (BW-Offloading's thrash signature).
+        std::size_t switches = 0;
+        for (std::size_t i = 1; i < r.resourceTrace.size(); ++i)
+            switches += r.resourceTrace[i] != r.resourceTrace[i - 1];
+        std::printf("  resource switches: %zu of %zu instructions\n\n",
+                    switches, r.resourceTrace.size());
+    }
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: each bench binary
+ * regenerates one table or figure of the paper, printing the same
+ * rows/series the paper reports (normalized to the CPU baseline).
+ */
+
+#ifndef CONDUIT_BENCH_COMMON_HH
+#define CONDUIT_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/simulation.hh"
+
+namespace conduit::bench
+{
+
+/** Techniques in the paper's presentation order (Fig. 5 / Fig. 7). */
+inline const std::vector<std::string> &
+motivationTechniques()
+{
+    static const std::vector<std::string> t = {
+        "GPU",           "ISP",        "PuD-SSD",
+        "Flash-Cosmos",  "Ares-Flash", "BW-Offloading",
+        "DM-Offloading", "Ideal"};
+    return t;
+}
+
+inline const std::vector<std::string> &
+evaluationTechniques()
+{
+    static const std::vector<std::string> t = {
+        "GPU",           "ISP",           "PuD-SSD",
+        "Flash-Cosmos",  "Ares-Flash",    "BW-Offloading",
+        "DM-Offloading", "Conduit",       "Ideal"};
+    return t;
+}
+
+/** Run a technique ("CPU"/"GPU" or a policy name) on a workload. */
+inline RunResult
+runTechnique(Simulation &sim, WorkloadId id, const std::string &name)
+{
+    if (name == "CPU")
+        return sim.runHost(id, false);
+    if (name == "GPU")
+        return sim.runHost(id, true);
+    return sim.run(id, name);
+}
+
+/** Geometric mean of a vector of ratios. */
+inline double
+gmean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/** Print a header row for a workload-major table. */
+inline void
+printHeader(const std::vector<std::string> &columns)
+{
+    std::printf("%-18s", "workload");
+    for (const auto &c : columns)
+        std::printf(" %14s", c.c_str());
+    std::printf("\n");
+}
+
+} // namespace conduit::bench
+
+#endif // CONDUIT_BENCH_COMMON_HH

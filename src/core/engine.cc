@@ -1,0 +1,791 @@
+#include "src/core/engine.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace conduit
+{
+
+Engine::Engine(const SsdConfig &cfg)
+    : cfg_(cfg), nand_(cfg.nand, &stats_), ftl_(nand_, cfg, &stats_),
+      dram_(cfg.dram, &stats_), pud_(dram_, cfg.compute, &stats_),
+      isp_(cfg.isp, cfg.compute, &stats_),
+      ifp_(nand_, cfg.compute, &stats_), energy_(cfg.energy),
+      transformer_(cfg.nand.pageBytes, cfg.dram.rowBytes,
+                   cfg.isp.simdBytes),
+      rng_(cfg.seed)
+{
+}
+
+void
+Engine::prepare(const Program &prog, const EngineOptions &opts)
+{
+    opts_ = opts;
+    if (prog.footprintPages > ftl_.logicalPages()) {
+        throw std::invalid_argument(
+            "Engine: program footprint exceeds SSD logical capacity; "
+            "scale the workload or the device");
+    }
+    ftl_.preload(prog.footprintPages);
+    ftl_.setMappingCacheCapacity(static_cast<std::uint64_t>(
+        static_cast<double>(prog.footprintPages) *
+        opts.mappingCacheFraction));
+    pageMeta_.assign(prog.footprintPages, PageMeta{});
+    completion_.assign(prog.instrs.size(), 0);
+    latchFifo_.assign(nand_.numDies(), {});
+    dramCapacityPages_ = std::max<std::uint64_t>(
+        64, static_cast<std::uint64_t>(
+                static_cast<double>(prog.footprintPages) *
+                opts.dramStagingFraction));
+    dramLru_.clear();
+    dramPos_.clear();
+    idealBusy_.fill(0);
+}
+
+void
+Engine::dramTouch(Lpn page, Tick now)
+{
+    auto it = dramPos_.find(page);
+    if (it != dramPos_.end()) {
+        dramLru_.splice(dramLru_.begin(), dramLru_, it->second);
+        return;
+    }
+    dramLru_.push_front(page);
+    dramPos_[page] = dramLru_.begin();
+    while (dramPos_.size() > dramCapacityPages_) {
+        // Random-ish victim selection (CLOCK approximation): pure
+        // LRU degenerates on the cyclic sweeps of stencil kernels,
+        // evicting every page just before its reuse.
+        auto vit = std::prev(dramLru_.end());
+        const std::uint64_t skip =
+            rng_.below(std::max<std::uint64_t>(1, dramLru_.size() / 2));
+        for (std::uint64_t i = 0; i < skip && vit != dramLru_.begin();
+             ++i) {
+            --vit;
+        }
+        const Lpn victim = *vit;
+        if (victim == page)
+            break;
+        dramLru_.erase(vit);
+        dramPos_.erase(victim);
+        if (victim >= pageMeta_.size())
+            continue;
+        PageMeta &vm = pageMeta_[victim];
+        if (vm.loc == Loc::Dram && vm.dirty) {
+            // Background writeback (coherence trigger iii).
+            commitPage(victim, now);
+        } else {
+            vm.dramCached = false;
+        }
+    }
+}
+
+std::vector<IfpFragment>
+Engine::fragmentsFor(const VecInstruction &instr)
+{
+    // Compute fragments follow the first operand's physical layout;
+    // the extended FTL page-allocation policy (§4.4) co-locates the
+    // other operands' corresponding pages in the same block.
+    const Operand &lead = instr.srcs.empty() ? instr.dst
+                                             : instr.srcs.front();
+    std::vector<IfpFragment> frags;
+    const std::uint64_t vec_bytes =
+        static_cast<std::uint64_t>(instr.lanes) * instr.elemBits / 8;
+    const std::uint64_t per_page =
+        std::min<std::uint64_t>(vec_bytes, cfg_.nand.pageBytes);
+    for (std::uint64_t p = lead.basePage;
+         p < lead.basePage + lead.pageCount; ++p) {
+        const Ppn ppn = ftl_.physicalOf(p);
+        const std::uint32_t die =
+            nand_.dieIndex(nand_.decode(ppn));
+        bool merged = false;
+        for (auto &f : frags) {
+            if (f.dieIndex == die) {
+                f.bytes += per_page;
+                merged = true;
+                break;
+            }
+        }
+        if (!merged)
+            frags.push_back({die, per_page});
+    }
+    if (frags.empty())
+        frags.push_back({0, per_page});
+    return frags;
+}
+
+std::uint32_t
+Engine::sensedOperands(const VecInstruction &instr) const
+{
+    // Operands whose freshest copy already sits in the page-buffer
+    // latches (a previous IFP result) fold into the next in-flash
+    // operation without re-sensing the array (ParaBit-style
+    // latch-combining applies to MWS results as well).
+    std::uint32_t sensed = 0;
+    for (const auto &src : instr.srcs) {
+        bool latch_resident = src.pageCount > 0;
+        for (Lpn p = src.basePage;
+             p < src.basePage + src.pageCount; ++p) {
+            if (p >= pageMeta_.size() ||
+                pageMeta_[p].loc != Loc::Latch) {
+                latch_resident = false;
+                break;
+            }
+        }
+        if (!latch_resident)
+            ++sensed;
+    }
+    return sensed;
+}
+
+Tick
+Engine::dmEstimate(const VecInstruction &instr, Target t,
+                   std::uint64_t &bytes) const
+{
+    const NandConfig &n = cfg_.nand;
+    const Tick page_xfer =
+        n.dmaTicks + transferTicks(n.pageBytes, n.channelBytesPerSec);
+    const Tick flash_stage = n.cmdTicks + n.readTicks + page_xfer;
+    const Tick dram_page =
+        transferTicks(n.pageBytes, cfg_.dram.busBytesPerSec) +
+        cfg_.dram.tRcd + cfg_.dram.tCas;
+
+    std::uint64_t pages_moving = 0;
+    Tick per_page = 0;
+    bytes = 0;
+
+    auto classify = [&](Lpn page) {
+        const PageMeta &m = pageMeta_[page];
+        switch (t) {
+          case Target::Ifp:
+            if (m.loc == Loc::Dram && m.dirty) {
+                // Load the fresh copy into the die latches over the
+                // channel (latch-operand computation).
+                pages_moving++;
+                per_page = std::max(per_page, page_xfer);
+                bytes += n.pageBytes;
+            }
+            break;
+          case Target::Pud:
+            if (m.loc == Loc::Flash && !m.dramCached) {
+                pages_moving++;
+                per_page = std::max(per_page, flash_stage + dram_page);
+                bytes += n.pageBytes;
+            } else if (m.loc == Loc::Latch) {
+                pages_moving++;
+                per_page = std::max(per_page, page_xfer + dram_page);
+                bytes += n.pageBytes;
+            }
+            break;
+          case Target::Isp:
+            if (m.loc == Loc::Dram || m.dramCached) {
+                pages_moving++;
+                per_page = std::max(per_page, dram_page);
+                bytes += n.pageBytes;
+            } else if (m.loc == Loc::Latch) {
+                pages_moving++;
+                per_page = std::max(per_page, page_xfer);
+                bytes += n.pageBytes;
+            } else {
+                pages_moving++;
+                per_page = std::max(per_page, flash_stage);
+                bytes += n.pageBytes;
+            }
+            break;
+        }
+    };
+
+    for (const auto &s : instr.srcs) {
+        for (Lpn p = s.basePage; p < s.basePage + s.pageCount; ++p) {
+            if (p < pageMeta_.size())
+                classify(p);
+        }
+    }
+
+    if (pages_moving == 0)
+        return 0;
+    // Transfers stripe over channels (the precomputed no-contention
+    // table of §4.3.2 assumes ideal parallelism).
+    const std::uint64_t waves =
+        (pages_moving + n.channels - 1) / n.channels;
+    return static_cast<Tick>(waves) * per_page;
+}
+
+CostFeatures
+Engine::features(const VecInstruction &instr, Tick now)
+{
+    CostFeatures f;
+
+    f.supported[static_cast<std::size_t>(Target::Isp)] = true;
+    f.supported[static_cast<std::size_t>(Target::Pud)] =
+        pudSupports(instr.op);
+    f.supported[static_cast<std::size_t>(Target::Ifp)] =
+        ifpSupports(instr.op);
+
+    // (6) Expected computation latency.
+    const auto frags = fragmentsFor(instr);
+    std::uint64_t bytes_per_die = 0;
+    for (const auto &fr : frags)
+        bytes_per_die = std::max(bytes_per_die, fr.bytes);
+    f.comp[static_cast<std::size_t>(Target::Isp)] = isp_.estimate(
+        instr.op, instr.elemBits, instr.lanes,
+        static_cast<std::uint32_t>(instr.srcs.size()),
+        instr.vectorized);
+    f.comp[static_cast<std::size_t>(Target::Pud)] =
+        pud_.estimate(instr.op, instr.elemBits, instr.lanes);
+    f.comp[static_cast<std::size_t>(Target::Ifp)] = ifp_.estimate(
+        instr.op, instr.elemBits,
+        static_cast<std::uint32_t>(instr.srcs.size()),
+        sensedOperands(instr), bytes_per_die);
+
+    // (5) Data movement latency (static, no-contention table).
+    for (Target t : {Target::Isp, Target::Pud, Target::Ifp}) {
+        const auto i = static_cast<std::size_t>(t);
+        f.dm[i] = dmEstimate(instr, t, f.dmBytes[i]);
+    }
+
+    // (4) Resource queueing delay.
+    f.queue[static_cast<std::size_t>(Target::Isp)] = isp_.backlog(now);
+    f.queue[static_cast<std::size_t>(Target::Pud)] =
+        dram_.bankBacklog(now);
+    Tick die_backlog = 0;
+    for (const auto &fr : frags)
+        die_backlog =
+            std::max(die_backlog, nand_.dieBacklog(fr.dieIndex, now));
+    f.queue[static_cast<std::size_t>(Target::Ifp)] = die_backlog;
+
+    // (3) Data dependence delay.
+    Tick dep_ready = 0;
+    for (InstrId d : instr.deps) {
+        if (d < completion_.size())
+            dep_ready = std::max(dep_ready, completion_[d]);
+    }
+    f.depDelay = dep_ready > now ? dep_ready - now : 0;
+
+    // Bandwidth utilization (BW-Offloading's sole input): pending
+    // work over a short window approximates the utilization samples
+    // a TOM-style monitor would read.
+    const double window = static_cast<double>(usToTicks(200));
+    f.bwUtil[static_cast<std::size_t>(Target::Isp)] =
+        static_cast<double>(isp_.backlog(now)) / window;
+    f.bwUtil[static_cast<std::size_t>(Target::Pud)] =
+        static_cast<double>(dram_.bankBacklog(now)) / window;
+    f.bwUtil[static_cast<std::size_t>(Target::Ifp)] =
+        static_cast<double>(nand_.minDieBacklog(now)) / window;
+
+    return f;
+}
+
+Tick
+Engine::offloadOverhead(const VecInstruction &instr, Tick now)
+{
+    // §4.5 feature-collection + transformation accounting. Operand
+    // location comes from real L2P lookups (so DFTL misses produce
+    // the up-to-33us outliers the paper reports).
+    const OverheadConfig &o = cfg_.overhead;
+    Tick t = 0;
+    for (const auto &s : instr.srcs) {
+        auto lk = ftl_.translate(s.basePage, now);
+        t += lk.latency;
+    }
+    if (!instr.deps.empty())
+        t += o.depTrackPerQueue;
+    t += o.queueTrackPerResource;
+    t += o.dmTableLookup + o.compTableLookup + o.translationLookup;
+    return t;
+}
+
+Tick
+Engine::commitPage(Lpn page, Tick earliest)
+{
+    PageMeta &m = pageMeta_[page];
+    Tick ready = earliest;
+    if (m.loc == Loc::Dram) {
+        // DRAM -> controller -> channel -> program.
+        const Ppn ppn = ftl_.physicalOf(page);
+        const std::uint32_t ch = nand_.decode(ppn).channel;
+        auto x = nand_.transferIn(ch, cfg_.nand.pageBytes, earliest);
+        result_->internalDmBusy += x.end - x.start;
+        energy_.dma(1);
+        energy_.channelTransfer(cfg_.nand.pageBytes);
+        ready = x.end;
+    } else if (m.loc == Loc::Latch) {
+        // Latch contents program directly from the page buffer.
+        ready = earliest;
+    }
+    auto wr = ftl_.writePage(page, ready);
+    result_->internalDmBusy += wr.readyAt - ready;
+    energy_.flashProgram(1);
+    ++result_->coherenceCommits;
+    m.loc = Loc::Flash;
+    m.dirty = false;
+    m.version = 0;
+    m.dramCached = false;
+    return wr.readyAt;
+}
+
+void
+Engine::recordWrite(Lpn page, Target target, std::uint32_t die,
+                    Tick when)
+{
+    if (page >= pageMeta_.size())
+        return;
+    PageMeta &m = pageMeta_[page];
+    if (m.version >= opts_.versionFlushThreshold) {
+        // Flush before the one-byte counter wraps (§4.4).
+        commitPage(page, when);
+    }
+    ++m.version;
+    m.dirty = true;
+    switch (target) {
+      case Target::Isp:
+      case Target::Pud:
+        m.loc = Loc::Dram;
+        m.dramCached = true;
+        dramTouch(page, when);
+        break;
+      case Target::Ifp: {
+        m.loc = Loc::Latch;
+        // The page's latch lives on the die holding its physical
+        // page, spreading latch pressure with the striped layout.
+        const Ppn ppn = ftl_.physicalOf(page);
+        m.latchDie = die == kAutoDie
+            ? nand_.dieIndex(nand_.decode(ppn))
+            : die;
+        m.dramCached = false;
+        auto &fifo = latchFifo_[m.latchDie];
+        // Refresh on rewrite: one latch slot per resident page.
+        auto it = std::find(fifo.begin(), fifo.end(), page);
+        if (it != fifo.end())
+            fifo.erase(it);
+        fifo.push_back(page);
+        while (fifo.size() > opts_.latchPagesPerDie) {
+            const Lpn victim = fifo.front();
+            fifo.pop_front();
+            if (victim < pageMeta_.size() &&
+                pageMeta_[victim].loc == Loc::Latch &&
+                pageMeta_[victim].dirty) {
+                commitPage(victim, when);
+                ++result_->latchEvictions;
+            }
+        }
+        break;
+      }
+    }
+}
+
+Engine::MoveResult
+Engine::moveForIsp(const VecInstruction &instr, Tick earliest)
+{
+    MoveResult r;
+    r.readyAt = earliest;
+    const NandConfig &n = cfg_.nand;
+    for (const auto &s : instr.srcs) {
+        for (Lpn p = s.basePage; p < s.basePage + s.pageCount; ++p) {
+            if (p >= pageMeta_.size())
+                continue;
+            PageMeta &m = pageMeta_[p];
+            Tick end = earliest;
+            if (m.loc == Loc::Dram || m.dramCached) {
+                // DRAM-resident operands stream directly through the
+                // core's load path; the IspCore streaming bound
+                // already covers this traffic, so only energy (not
+                // extra bus serialization) is charged here.
+                energy_.dramTransfer(n.pageBytes);
+                dramTouch(p, earliest);
+            } else if (m.loc == Loc::Latch) {
+                const std::uint32_t ch =
+                    m.latchDie / n.diesPerChannel;
+                auto iv = nand_.transferOut(ch, n.pageBytes, earliest);
+                energy_.dma(1);
+                energy_.channelTransfer(n.pageBytes);
+                result_->internalDmBusy += iv.end - iv.start;
+                end = iv.end;
+            } else {
+                const Ppn ppn = ftl_.physicalOf(p);
+                const FlashAddress a = nand_.decode(ppn);
+                auto rd = nand_.readPage(a, earliest);
+                auto iv =
+                    nand_.transferOut(a.channel, n.pageBytes, rd.end);
+                energy_.flashRead(1);
+                energy_.dma(1);
+                energy_.channelTransfer(n.pageBytes);
+                result_->flashReadBusy += rd.end - rd.start;
+                result_->internalDmBusy += iv.end - iv.start;
+                m.dramCached = true; // staged via the DRAM buffer
+                dramTouch(p, earliest);
+                end = iv.end;
+            }
+            r.bytesMoved += n.pageBytes;
+            r.readyAt = std::max(r.readyAt, end);
+        }
+    }
+    return r;
+}
+
+Engine::MoveResult
+Engine::moveForPud(const VecInstruction &instr, Tick earliest)
+{
+    MoveResult r;
+    r.readyAt = earliest;
+    const NandConfig &n = cfg_.nand;
+    for (const auto &s : instr.srcs) {
+        for (Lpn p = s.basePage; p < s.basePage + s.pageCount; ++p) {
+            if (p >= pageMeta_.size())
+                continue;
+            PageMeta &m = pageMeta_[p];
+            if (m.loc == Loc::Dram || m.dramCached) {
+                dramTouch(p, earliest);
+                continue; // already resident
+            }
+            Tick end = earliest;
+            if (m.loc == Loc::Latch) {
+                const std::uint32_t ch =
+                    m.latchDie / n.diesPerChannel;
+                auto x = nand_.transferOut(ch, n.pageBytes, earliest);
+                auto w = dram_.access(static_cast<std::uint32_t>(p),
+                                      n.pageBytes, x.end);
+                energy_.dma(1);
+                energy_.channelTransfer(n.pageBytes);
+                energy_.dramTransfer(n.pageBytes);
+                result_->internalDmBusy +=
+                    (x.end - x.start) + (w.end - w.start);
+                m.loc = Loc::Dram; // the fresh copy moves to DRAM
+                dramTouch(p, earliest);
+                end = w.end;
+            } else {
+                const Ppn ppn = ftl_.physicalOf(p);
+                const FlashAddress a = nand_.decode(ppn);
+                auto rd = nand_.readPage(a, earliest);
+                auto x = nand_.transferOut(a.channel, n.pageBytes,
+                                           rd.end);
+                auto w = dram_.access(static_cast<std::uint32_t>(p),
+                                      n.pageBytes, x.end);
+                energy_.flashRead(1);
+                energy_.dma(1);
+                energy_.channelTransfer(n.pageBytes);
+                energy_.dramTransfer(n.pageBytes);
+                result_->flashReadBusy += rd.end - rd.start;
+                result_->internalDmBusy +=
+                    (x.end - x.start) + (w.end - w.start);
+                m.dramCached = true;
+                dramTouch(p, earliest);
+                end = w.end;
+            }
+            r.bytesMoved += n.pageBytes;
+            r.readyAt = std::max(r.readyAt, end);
+        }
+    }
+    return r;
+}
+
+Engine::MoveResult
+Engine::moveForIfp(const VecInstruction &instr, Tick earliest)
+{
+    MoveResult r;
+    r.readyAt = earliest;
+    const NandConfig &n = cfg_.nand;
+    for (const auto &s : instr.srcs) {
+        for (Lpn p = s.basePage; p < s.basePage + s.pageCount; ++p) {
+            if (p >= pageMeta_.size())
+                continue;
+            PageMeta &m = pageMeta_[p];
+            if (m.loc == Loc::Dram) {
+                if (m.dirty) {
+                    // Latch-class op: load the fresh copy into the
+                    // owning die's page-buffer latch over the channel
+                    // (latch-operand computation, Ares-Flash style) —
+                    // far cheaper than programming the array.
+                    const Ppn ppn = ftl_.physicalOf(p);
+                    const FlashAddress a = nand_.decode(ppn);
+                    auto x = nand_.transferIn(a.channel, n.pageBytes,
+                                              earliest);
+                    energy_.dma(1);
+                    energy_.channelTransfer(n.pageBytes);
+                    result_->internalDmBusy += x.end - x.start;
+                    m.loc = Loc::Latch;
+                    m.latchDie = nand_.dieIndex(a);
+                    m.dramCached = false;
+                    r.bytesMoved += n.pageBytes;
+                    r.readyAt = std::max(r.readyAt, x.end);
+                } else {
+                    m.loc = Loc::Flash; // array copy is valid
+                }
+            }
+            // Loc::Flash (and, for latch-class ops, Loc::Latch) is
+            // usable in place: the extended FTL layout keeps
+            // operands co-located (§4.4).
+        }
+    }
+    return r;
+}
+
+Tick
+Engine::executeOn(const VecInstruction &instr, Target target,
+                  Tick earliest)
+{
+    const auto ti = static_cast<std::size_t>(target);
+    ++result_->perResource[ti];
+
+    if (ideal_) {
+        // No contention, zero movement, table-latency compute; the
+        // per-resource aggregate capacity is enforced in run().
+        Tick comp = 0;
+        switch (target) {
+          case Target::Isp:
+            comp = isp_.estimate(
+                instr.op, instr.elemBits, instr.lanes,
+                static_cast<std::uint32_t>(instr.srcs.size()),
+                instr.vectorized);
+            energy_.ispBusy(comp);
+            break;
+          case Target::Pud:
+            comp = pud_.estimate(instr.op, instr.elemBits, instr.lanes);
+            energy_.pudOp(pud_.rowsFor(instr.elemBits, instr.lanes) *
+                          pud_.bbopCount(instr.op, instr.elemBits));
+            break;
+          case Target::Ifp: {
+            const auto frags = fragmentsFor(instr);
+            std::uint64_t per_die = 0;
+            for (const auto &fr : frags)
+                per_die = std::max(per_die, fr.bytes);
+            comp = ifp_.estimate(
+                instr.op, instr.elemBits,
+                static_cast<std::uint32_t>(instr.srcs.size()),
+                sensedOperands(instr), per_die);
+            energy_.ifpOp(instr.op, instr.srcBytes());
+            break;
+          }
+        }
+        result_->computeBusy += comp;
+        idealBusy_[ti] += comp;
+        // Track result location (only) so operand-reuse effects such
+        // as latch-resident IFP operands shape Ideal's choices.
+        for (Lpn p = instr.dst.basePage;
+             p < instr.dst.basePage + instr.dst.pageCount; ++p) {
+            if (p >= pageMeta_.size())
+                continue;
+            PageMeta &m = pageMeta_[p];
+            m.loc = target == Target::Ifp ? Loc::Latch : Loc::Dram;
+        }
+        return earliest + comp;
+    }
+
+    Tick done = earliest;
+    switch (target) {
+      case Target::Isp: {
+        auto mv = moveForIsp(instr, earliest);
+        auto iv = isp_.execute(
+            instr.op, instr.elemBits, instr.lanes,
+            static_cast<std::uint32_t>(instr.srcs.size()),
+            instr.vectorized, mv.readyAt);
+        energy_.ispBusy(iv.end - iv.start);
+        result_->computeBusy += iv.end - iv.start;
+        // Result streams into SSD DRAM.
+        if (instr.dstBytes() > 0) {
+            auto w = dram_.access(
+                static_cast<std::uint32_t>(instr.dst.basePage),
+                instr.dstBytes(), iv.end);
+            energy_.dramTransfer(instr.dstBytes());
+            result_->internalDmBusy += w.end - w.start;
+            done = w.end;
+        } else {
+            done = iv.end;
+        }
+        for (Lpn p = instr.dst.basePage;
+             p < instr.dst.basePage + instr.dst.pageCount; ++p)
+            recordWrite(p, Target::Isp, 0, done);
+        break;
+      }
+      case Target::Pud: {
+        auto mv = moveForPud(instr, earliest);
+        auto iv = pud_.execute(
+            instr.op, instr.elemBits, instr.lanes,
+            static_cast<std::uint32_t>(instr.dst.basePage), mv.readyAt);
+        energy_.pudOp(pud_.rowsFor(instr.elemBits, instr.lanes) *
+                      pud_.bbopCount(instr.op, instr.elemBits));
+        result_->computeBusy += iv.end - iv.start;
+        done = iv.end;
+        for (Lpn p = instr.dst.basePage;
+             p < instr.dst.basePage + instr.dst.pageCount; ++p)
+            recordWrite(p, Target::Pud, 0, done);
+        break;
+      }
+      case Target::Ifp: {
+        const std::uint32_t sensed = sensedOperands(instr);
+        auto mv = moveForIfp(instr, earliest);
+        const auto frags = fragmentsFor(instr);
+        auto iv = ifp_.execute(
+            instr.op, instr.elemBits,
+            static_cast<std::uint32_t>(instr.srcs.size()), sensed,
+            frags, mv.readyAt);
+        // Sensing energy: MWS activates the operand wordlines.
+        std::uint64_t sensings = 0;
+        if (sensed > 0) {
+            switch (instr.op) {
+              case OpCode::And:
+              case OpCode::Nand:
+                sensings = 1;
+                break;
+              case OpCode::Or:
+              case OpCode::Nor:
+                sensings = (sensed + cfg_.nand.maxOrOperands - 1) /
+                    cfg_.nand.maxOrOperands;
+                break;
+              default:
+                sensings = sensed;
+                break;
+            }
+        }
+        energy_.ifpSense(sensings * frags.size());
+        energy_.ifpOp(instr.op, instr.srcBytes());
+        result_->computeBusy += iv.end - iv.start;
+        done = iv.end;
+        for (Lpn p = instr.dst.basePage;
+             p < instr.dst.basePage + instr.dst.pageCount; ++p)
+            recordWrite(p, Target::Ifp, kAutoDie, done);
+        break;
+      }
+    }
+    return done;
+}
+
+Tick
+Engine::drainResults(Tick after)
+{
+    const NandConfig &n = cfg_.nand;
+    Tick end = after;
+    std::uint64_t pages = 0;
+    for (Lpn p = 0; p < pageMeta_.size(); ++p) {
+        PageMeta &m = pageMeta_[p];
+        if (!m.dirty)
+            continue;
+        Tick src_ready = after;
+        if (m.loc == Loc::Latch) {
+            const std::uint32_t ch = m.latchDie / n.diesPerChannel;
+            auto x = nand_.transferOut(ch, n.pageBytes, after);
+            energy_.dma(1);
+            energy_.channelTransfer(n.pageBytes);
+            src_ready = x.end;
+        }
+        auto iv = pcie_.acquire(
+            src_ready,
+            transferTicks(n.pageBytes, cfg_.host.pcieBytesPerSec));
+        energy_.dramTransfer(n.pageBytes);
+        result_->hostDmBusy += iv.end - iv.start;
+        end = std::max(end, iv.end);
+        m.dirty = false;
+        ++pages;
+    }
+    stats_.counter("engine.drained_pages").inc(pages);
+    return end;
+}
+
+RunResult
+Engine::run(const Program &prog, OffloadPolicy &policy,
+            const EngineOptions &opts)
+{
+    RunResult result;
+    result.workload = prog.name;
+    result.policy = policy.name();
+    result_ = &result;
+    ideal_ = policy.ideal();
+
+    prepare(prog, opts);
+
+    Tick exec_end = 0;
+    for (const auto &instr : prog.instrs) {
+        // Offloader pipeline stage: the decision core issues one
+        // instruction per issue interval, while the full feature-
+        // collection latency (§4.5, ~3.77us average) is added to the
+        // instruction's dispatch latency (lookups overlap).
+        Tick disp_start;
+        Tick now;
+        if (ideal_) {
+            disp_start = 0;
+            now = 0;
+        } else {
+            const Tick ovh = offloadOverhead(instr, offloader_.freeAt());
+            auto disp =
+                offloader_.acquire(0, cfg_.overhead.issueTicks);
+            result.offloaderBusy += ovh;
+            disp_start = disp.start;
+            now = disp.start + ovh;
+        }
+
+        CostFeatures f = features(instr, now);
+        const Target target = policy.select(instr, f);
+        (void)transformer_.transform(instr, target);
+
+        // Operand availability (RAW) gates execution start.
+        Tick dep_ready = now;
+        for (InstrId d : instr.deps) {
+            if (d < completion_.size())
+                dep_ready = std::max(dep_ready, completion_[d]);
+        }
+
+        Tick done = executeOn(instr, target, dep_ready);
+
+        // Transient-fault injection: detection timeout, then replay
+        // on the general-purpose core with the latest data (§4.4).
+        if (opts.transientFaultRate > 0.0 &&
+            rng_.chance(opts.transientFaultRate)) {
+            ++result.faultsInjected;
+            const Tick retry_at = done + opts.faultTimeout;
+            const Target alt =
+                target == Target::Isp ? Target::Pud : Target::Isp;
+            const Target replay_target =
+                (alt == Target::Pud && !pudSupports(instr.op))
+                    ? Target::Isp
+                    : alt;
+            done = executeOn(instr, replay_target, retry_at);
+            ++result.replays;
+        }
+
+        completion_[instr.id] = done;
+        // Request latency: from the instruction becoming ready
+        // (dispatched and operands available) to completion — the
+        // per-request latency Fig. 8 reports tails over.
+        const Tick ready = std::max(disp_start, dep_ready);
+        result.latencyUs.add(
+            ticksToUs(done > ready ? done - ready : 0));
+        exec_end = std::max(exec_end, done);
+
+        if (opts.recordTimeline) {
+            result.resourceTrace.push_back(
+                static_cast<std::uint8_t>(target));
+            result.opTrace.push_back(
+                static_cast<std::uint8_t>(instr.op));
+            result.completionTrace.push_back(done);
+        }
+    }
+
+    if (ideal_) {
+        // "No resource contention" still cannot beat the aggregate
+        // capacity of each resource class: one controller core, all
+        // DRAM banks, all flash dies perfectly load-balanced.
+        exec_end = std::max(
+            exec_end,
+            idealBusy_[static_cast<std::size_t>(Target::Isp)]);
+        exec_end = std::max(
+            exec_end,
+            idealBusy_[static_cast<std::size_t>(Target::Pud)] /
+                dram_.numBanks());
+        exec_end = std::max(
+            exec_end,
+            idealBusy_[static_cast<std::size_t>(Target::Ifp)] /
+                nand_.numDies());
+    }
+
+    if (opts.drainResults && !ideal_)
+        exec_end = drainResults(exec_end);
+
+    result.instrCount = prog.instrs.size();
+    result.execTime = exec_end;
+    result.dmEnergyJ = energy_.dataMovementJ();
+    result.computeEnergyJ = energy_.computeJ();
+    result_ = nullptr;
+    return result;
+}
+
+} // namespace conduit

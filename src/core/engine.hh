@@ -1,0 +1,250 @@
+/**
+ * @file
+ * The Conduit runtime engine (§4.3.2, §4.4).
+ *
+ * Executes a vectorized program on the simulated SSD under a given
+ * offloading policy. Per instruction, the engine:
+ *
+ *  1. services the offloader pipeline stage (feature collection +
+ *     instruction transformation, charged per §4.5 on a dedicated
+ *     controller core),
+ *  2. computes the six cost-function features of Table 1 and asks
+ *     the policy for a target resource,
+ *  3. moves operands to the target (lazy coherence: flash / page
+ *     buffer latches / SSD DRAM, with owner/dirty/version metadata
+ *     at logical-page granularity),
+ *  4. reserves the target's execution resources (dies, banks, the
+ *     compute core) FCFS — contention and queueing emerge from the
+ *     reservation calendars, and
+ *  5. records completion, energy, and trace data.
+ *
+ * The Ideal mode (§5.3) bypasses movement, queueing and overheads,
+ * providing the unrealizable upper bound.
+ */
+
+#ifndef CONDUIT_CORE_ENGINE_HH
+#define CONDUIT_CORE_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/transformer.hh"
+#include "src/dram/dram.hh"
+#include "src/dram/pud_unit.hh"
+#include "src/energy/energy_model.hh"
+#include "src/ftl/ftl.hh"
+#include "src/ir/instruction.hh"
+#include "src/isp/isp_core.hh"
+#include "src/nand/ifp_unit.hh"
+#include "src/nand/nand.hh"
+#include "src/offload/policy.hh"
+#include "src/sim/config.hh"
+#include "src/sim/rng.hh"
+#include "src/sim/stats.hh"
+
+namespace conduit
+{
+
+/** Sentinel: let recordWrite derive the latch die per page. */
+constexpr std::uint32_t kAutoDie = ~0U;
+
+/** Engine run options. */
+struct EngineOptions
+{
+    /** Record per-instruction target/op traces (Fig. 10). */
+    bool recordTimeline = false;
+
+    /** Probability of a transient fault per executed instruction. */
+    double transientFaultRate = 0.0;
+
+    /** Detection timeout charged when a transient fault hits. */
+    Tick faultTimeout = usToTicks(50);
+
+    /** Coherence version-counter flush threshold (§4.4). */
+    std::uint8_t versionFlushThreshold = 255;
+
+    /**
+     * Per-die page-buffer latch capacity in pages: planes x the
+     * S/D/cache latch planes Ares-Flash exposes per plane. Results
+     * beyond this spill to the array via SLC programming.
+     */
+    std::uint32_t latchPagesPerDie = 16;
+
+    /** Drain dirty result pages to the host when the run ends. */
+    bool drainResults = true;
+
+    /**
+     * SSD-DRAM staging capacity as a fraction of the workload
+     * footprint. The default is effectively unbounded (the SSD DRAM
+     * data region holds gigabytes, far beyond the scaled working
+     * sets simulated here); lowering it forces capacity-driven
+     * writebacks for the DRAM-pressure ablation.
+     */
+    double dramStagingFraction = 4.0;
+
+    /**
+     * Mapping-cache coverage as a fraction of the footprint's L2P
+     * entries (demand-based DFTL cache, §5.1).
+     */
+    double mappingCacheFraction = 1.0;
+};
+
+/** Everything a run produces. */
+struct RunResult
+{
+    std::string workload;
+    std::string policy;
+
+    Tick execTime = 0;
+    std::uint64_t instrCount = 0;
+    std::array<std::uint64_t, kNumTargets> perResource{};
+
+    /** Per-instruction latency (dispatch to completion), in us. */
+    Histogram latencyUs;
+
+    double dmEnergyJ = 0.0;
+    double computeEnergyJ = 0.0;
+    double energyJ() const { return dmEnergyJ + computeEnergyJ; }
+
+    /** @name Attributed busy time (Fig. 4 breakdown inputs) @{ */
+    Tick computeBusy = 0;
+    Tick internalDmBusy = 0;
+    Tick flashReadBusy = 0;
+    Tick hostDmBusy = 0;
+    Tick offloaderBusy = 0;
+    /** @} */
+
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t replays = 0;
+    std::uint64_t coherenceCommits = 0;
+    std::uint64_t latchEvictions = 0;
+
+    /** Per-instruction traces (only with recordTimeline). */
+    std::vector<std::uint8_t> resourceTrace;
+    std::vector<std::uint8_t> opTrace;
+    std::vector<Tick> completionTrace;
+};
+
+/**
+ * The runtime engine. One Engine instance executes one run over a
+ * fresh simulated SSD.
+ */
+class Engine
+{
+  public:
+    explicit Engine(const SsdConfig &cfg);
+
+    /** Execute @p prog under @p policy. */
+    RunResult run(const Program &prog, OffloadPolicy &policy,
+                  const EngineOptions &opts = {});
+
+    /** Feature vector for @p instr at time @p now (testable). */
+    CostFeatures features(const VecInstruction &instr, Tick now);
+
+    /** Access to substrate stats after a run. */
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    /** Where the freshest copy of a logical page lives. */
+    enum class Loc : std::uint8_t { Flash, Latch, Dram };
+
+    /** Lazy-coherence metadata (§4.4): owner, state, version. */
+    struct PageMeta
+    {
+        Loc loc = Loc::Flash;
+        bool dirty = false;
+        std::uint8_t version = 0;
+        bool dramCached = false;  // clean copy staged in SSD DRAM
+        std::uint32_t latchDie = 0;
+    };
+
+    /** Outcome of moving operands for one instruction. */
+    struct MoveResult
+    {
+        Tick readyAt = 0;
+        std::uint64_t bytesMoved = 0;
+    };
+
+    void prepare(const Program &prog, const EngineOptions &opts);
+
+    Tick offloadOverhead(const VecInstruction &instr, Tick now);
+
+    /** Dies of @p instr's compute fragments (first operand's pages). */
+    std::vector<IfpFragment> fragmentsFor(const VecInstruction &instr);
+
+    /** Source operands that require array sensing on IFP. */
+    std::uint32_t sensedOperands(const VecInstruction &instr) const;
+
+    /** @name Data movement (coherence-aware) @{ */
+    MoveResult moveForIsp(const VecInstruction &instr, Tick earliest);
+    MoveResult moveForPud(const VecInstruction &instr, Tick earliest);
+    MoveResult moveForIfp(const VecInstruction &instr, Tick earliest);
+    /** @} */
+
+    /** Static (contention-free) movement estimate per target. */
+    Tick dmEstimate(const VecInstruction &instr, Target t,
+                    std::uint64_t &bytes) const;
+
+    /** Commit a dirty DRAM/latch page to the flash array. */
+    Tick commitPage(Lpn page, Tick earliest);
+
+    /**
+     * Record DRAM residency of @p page, evicting LRU pages beyond
+     * the staging capacity (clean copies are dropped, dirty pages
+     * are committed in the background — coherence trigger iii).
+     */
+    void dramTouch(Lpn page, Tick now);
+
+    /** Mark @p page written by @p target at @p when. */
+    void recordWrite(Lpn page, Target target, std::uint32_t die,
+                     Tick when);
+
+    /** Execute on a specific resource; returns completion time. */
+    Tick executeOn(const VecInstruction &instr, Target target,
+                   Tick earliest);
+
+    /** Final result drain to the host over PCIe (§4.4 trigger ii). */
+    Tick drainResults(Tick after);
+
+    PageMeta &meta(Lpn page) { return pageMeta_.at(page); }
+
+    SsdConfig cfg_;
+    StatSet stats_;
+    NandArray nand_;
+    Ftl ftl_;
+    DramModel dram_;
+    PudUnit pud_;
+    IspCore isp_;
+    IfpUnit ifp_;
+    EnergyModel energy_;
+    InstructionTransformer transformer_;
+    Rng rng_;
+
+    Server offloader_{"conduit.offloader"};
+    Server pcie_{"host.pcie"};
+
+    EngineOptions opts_;
+    std::vector<PageMeta> pageMeta_;
+    std::vector<Tick> completion_;
+    std::vector<std::deque<Lpn>> latchFifo_; // per die
+    RunResult *result_ = nullptr;
+    bool ideal_ = false;
+
+    /** Aggregate per-resource compute time in Ideal mode. */
+    std::array<Tick, kNumTargets> idealBusy_{};
+
+    // DRAM staging region LRU (capacity-limited page residency).
+    std::uint64_t dramCapacityPages_ = 0;
+    std::list<Lpn> dramLru_;
+    std::unordered_map<Lpn, std::list<Lpn>::iterator> dramPos_;
+};
+
+} // namespace conduit
+
+#endif // CONDUIT_CORE_ENGINE_HH

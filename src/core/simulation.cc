@@ -1,0 +1,88 @@
+#include "src/core/simulation.hh"
+
+namespace conduit
+{
+
+namespace
+{
+
+VectorizeOptions
+vecOptionsFor(const SsdConfig &cfg)
+{
+    VectorizeOptions vo;
+    vo.vectorLanes = cfg.vectorLanes;
+    vo.pageBytes = cfg.nand.pageBytes;
+    return vo;
+}
+
+} // namespace
+
+Simulation::Simulation(SimOptions opts)
+    : opts_(std::move(opts)), vectorizer_(vecOptionsFor(opts_.config))
+{
+}
+
+const VectorizedProgram &
+Simulation::compile(WorkloadId id)
+{
+    auto it = cache_.find(id);
+    if (it != cache_.end())
+        return it->second;
+    const LoopProgram lp = buildWorkload(id, opts_.workload);
+    auto [pos, inserted] = cache_.emplace(id, vectorizer_.run(lp));
+    return pos->second;
+}
+
+VectorizedProgram
+Simulation::compileProgram(const LoopProgram &lp) const
+{
+    return vectorizer_.run(lp);
+}
+
+RunResult
+Simulation::run(WorkloadId id, const std::string &policy_name)
+{
+    auto policy = makePolicy(policy_name);
+    return run(id, *policy);
+}
+
+RunResult
+Simulation::run(WorkloadId id, OffloadPolicy &policy)
+{
+    return runProgram(compile(id).program, policy);
+}
+
+RunResult
+Simulation::runProgram(const Program &prog, OffloadPolicy &policy)
+{
+    // Fresh engine (fresh device state) per run, as in the paper's
+    // methodology: every technique starts from the same cold SSD.
+    Engine engine(opts_.config);
+    return engine.run(prog, policy, opts_.engine);
+}
+
+RunResult
+Simulation::runHost(WorkloadId id, bool gpu)
+{
+    return runHostProgram(compile(id).program, gpu);
+}
+
+RunResult
+Simulation::runHostProgram(const Program &prog, bool gpu) const
+{
+    HostModel model(opts_.config, gpu ? HostModel::Kind::Gpu
+                                      : HostModel::Kind::Cpu);
+    const HostResult hr = model.run(prog);
+    RunResult r;
+    r.workload = prog.name;
+    r.policy = gpu ? "GPU" : "CPU";
+    r.execTime = hr.totalTime;
+    r.instrCount = prog.instrs.size();
+    r.computeBusy = hr.computeTime;
+    r.hostDmBusy = hr.transferTime;
+    r.dmEnergyJ = hr.dmEnergyJ;
+    r.computeEnergyJ = hr.computeEnergyJ;
+    return r;
+}
+
+} // namespace conduit

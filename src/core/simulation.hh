@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Top-level facade: the public API a downstream user drives.
+ *
+ * A Simulation owns a device configuration, compiles workloads
+ * through the compile-time preprocessing stage (auto-vectorization +
+ * metadata embedding), and executes them under any offloading policy
+ * or host baseline — returning the RunResult records the benches and
+ * examples consume.
+ */
+
+#ifndef CONDUIT_CORE_SIMULATION_HH
+#define CONDUIT_CORE_SIMULATION_HH
+
+#include <map>
+#include <string>
+
+#include "src/core/engine.hh"
+#include "src/host/host_model.hh"
+#include "src/vectorizer/vectorizer.hh"
+#include "src/workloads/workloads.hh"
+
+namespace conduit
+{
+
+/** Facade options. */
+struct SimOptions
+{
+    /** Device configuration (defaults: Table 2 geometry, scaled). */
+    SsdConfig config = SsdConfig::scaled(1.0 / 128.0);
+
+    /** Engine options shared by all runs. */
+    EngineOptions engine;
+
+    /** Workload dataset scale. */
+    WorkloadParams workload;
+};
+
+/**
+ * End-to-end simulation driver.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(SimOptions opts = {});
+
+    /** Compile-time preprocessing for a workload (cached). */
+    const VectorizedProgram &compile(WorkloadId id);
+
+    /** Compile an arbitrary loop program (not cached). */
+    VectorizedProgram compileProgram(const LoopProgram &lp) const;
+
+    /**
+     * Run @p id on the SSD under the named policy ("Conduit",
+     * "DM-Offloading", "BW-Offloading", "Ideal", "ISP", "PuD-SSD",
+     * "Flash-Cosmos", "Ares-Flash").
+     */
+    RunResult run(WorkloadId id, const std::string &policy_name);
+
+    /** Run with an externally constructed policy object. */
+    RunResult run(WorkloadId id, OffloadPolicy &policy);
+
+    /** Run a pre-compiled program under a policy. */
+    RunResult runProgram(const Program &prog, OffloadPolicy &policy);
+
+    /** Host baseline ("CPU" or "GPU") for a workload. */
+    RunResult runHost(WorkloadId id, bool gpu);
+
+    /** Host baseline for a pre-compiled program. */
+    RunResult runHostProgram(const Program &prog, bool gpu) const;
+
+    const SimOptions &options() const { return opts_; }
+
+  private:
+    SimOptions opts_;
+    Vectorizer vectorizer_;
+    std::map<WorkloadId, VectorizedProgram> cache_;
+};
+
+} // namespace conduit
+
+#endif // CONDUIT_CORE_SIMULATION_HH

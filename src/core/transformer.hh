@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Instruction transformation unit (§4.3.2).
+ *
+ * Translates each vectorized instruction into the native ISA of the
+ * chosen SSD computation resource: ARM M-Profile Vector Extension
+ * (MVE/Helium) mnemonics for ISP, bbop_* extensions from
+ * SIMDRAM/MIMDRAM/Proteus for PuD-SSD, and the MWS/latch primitives
+ * of Flash-Cosmos and Ares-Flash for IFP. The translation table
+ * lives in SSD DRAM (§4.5: four bytes per entry, ~1.5 KiB total);
+ * the engine charges the 300 ns lookup on the offloader core.
+ */
+
+#ifndef CONDUIT_CORE_TRANSFORMER_HH
+#define CONDUIT_CORE_TRANSFORMER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/ir/instruction.hh"
+#include "src/offload/policy.hh"
+
+namespace conduit
+{
+
+/** One native instruction emitted by the transformation unit. */
+struct NativeInstruction
+{
+    Target target = Target::Isp;
+    std::string mnemonic;
+
+    /** Sub-operations after vector-width adaptation (§4.3.2). */
+    std::uint32_t subOps = 1;
+
+    /** Native lanes per sub-operation on the target. */
+    std::uint32_t nativeLanes = 0;
+};
+
+/**
+ * The translation table plus vector-width adaptation logic.
+ */
+class InstructionTransformer
+{
+  public:
+    InstructionTransformer(std::uint32_t page_bytes,
+                           std::uint32_t dram_row_bytes,
+                           std::uint32_t isp_simd_bytes);
+
+    /** Translate @p instr for execution on @p target. */
+    NativeInstruction transform(const VecInstruction &instr,
+                                Target target) const;
+
+    /**
+     * Native SIMD width (in lanes) of @p target for @p elem_bits
+     * elements: full page for IFP, one DRAM row for PuD, the MVE
+     * register for ISP.
+     */
+    std::uint32_t nativeLanes(Target target,
+                              std::uint16_t elem_bits) const;
+
+    /** Bytes of SSD DRAM consumed by the translation table (§4.5). */
+    static std::uint64_t
+    tableBytes()
+    {
+        // >300 operation types x 4-byte entries + per-resource
+        // dispatch stubs; the paper reports 1.5 KiB.
+        return 384 * 4;
+    }
+
+  private:
+    std::uint32_t pageBytes_;
+    std::uint32_t rowBytes_;
+    std::uint32_t simdBytes_;
+};
+
+} // namespace conduit
+
+#endif // CONDUIT_CORE_TRANSFORMER_HH

@@ -1,0 +1,35 @@
+#include "src/dram/dram.hh"
+
+namespace conduit
+{
+
+DramModel::DramModel(const DramConfig &cfg, StatSet *stats)
+    : cfg_(cfg), banks_("dram.bank", cfg.banks), bus_("dram.bus"),
+      stats_(stats)
+{
+}
+
+ServiceInterval
+DramModel::access(std::uint32_t bank, std::uint64_t bytes, Tick earliest)
+{
+    // Activate the row on the bank, then stream over the shared bus.
+    const Tick act = cfg_.tRcd + cfg_.tCas;
+    auto bank_iv =
+        banks_.acquireOn(bank % banks_.size(), earliest, act + cfg_.tRp);
+    const Tick burst = transferTicks(bytes, cfg_.busBytesPerSec);
+    auto bus_iv = bus_.acquire(bank_iv.start + act, burst);
+    if (stats_) {
+        stats_->counter("dram.accesses").inc();
+        stats_->counter("dram.bytes").inc(bytes);
+    }
+    return {bank_iv.start, bus_iv.end};
+}
+
+void
+DramModel::reset()
+{
+    banks_.reset();
+    bus_.reset();
+}
+
+} // namespace conduit

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * SSD-internal DRAM model (Fig. 2).
+ *
+ * Models the LPDDR4 subsystem that stores FTL metadata and caches
+ * pages: independent banks behind a shared data bus. Banks are FCFS
+ * Servers with row activate/precharge timing; the bus serializes
+ * data transfers at the configured effective bandwidth. Accuracy is
+ * at the level the offloading study needs — bank-level parallelism,
+ * row-granularity operations, and bus contention — following the
+ * Ramulator-2.0-based extension described in §5.1.
+ */
+
+#ifndef CONDUIT_DRAM_DRAM_HH
+#define CONDUIT_DRAM_DRAM_HH
+
+#include <cstdint>
+
+#include "src/sim/config.hh"
+#include "src/sim/server.hh"
+#include "src/sim/stats.hh"
+
+namespace conduit
+{
+
+/**
+ * Bank-parallel DRAM timing model.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &cfg, StatSet *stats = nullptr);
+
+    const DramConfig &config() const { return cfg_; }
+
+    /**
+     * Transfer @p bytes over the DRAM bus (e.g. staging a page into
+     * or out of the compute region). Includes one row activation on
+     * the selected bank plus serialized bus time.
+     *
+     * @param bank Bank index (row address hash).
+     * @param bytes Payload size.
+     * @param earliest Earliest start.
+     */
+    ServiceInterval access(std::uint32_t bank, std::uint64_t bytes,
+                           Tick earliest);
+
+    /** Occupy a bank for an in-bank (PuD) operation sequence. */
+    ServiceInterval
+    occupyBank(std::uint32_t bank, Tick earliest, Tick duration)
+    {
+        return banks_.acquireOn(bank % banks_.size(), earliest,
+                                duration);
+    }
+
+    /** Occupy the least-loaded bank. */
+    ServiceInterval
+    occupyAnyBank(Tick earliest, Tick duration)
+    {
+        return banks_.acquire(earliest, duration);
+    }
+
+    /** Least backlog over banks at @p now. */
+    Tick bankBacklog(Tick now) const { return banks_.backlog(now); }
+
+    /** Bus backlog at @p now. */
+    Tick busBacklog(Tick now) const { return bus_.backlog(now); }
+
+    /** Bus utilization in [0,1] up to @p now. */
+    double
+    busUtilization(Tick now) const
+    {
+        return now == 0
+            ? 0.0
+            : static_cast<double>(bus_.busyTime()) /
+                static_cast<double>(now);
+    }
+
+    std::uint32_t numBanks() const
+    {
+        return static_cast<std::uint32_t>(banks_.size());
+    }
+
+    /** Row activate + restore + precharge time (one bank cycle). */
+    Tick
+    rowCycleTicks() const
+    {
+        return cfg_.tRas + cfg_.tRp;
+    }
+
+    void reset();
+
+  private:
+    DramConfig cfg_;
+    ServerGroup banks_;
+    Server bus_;
+    StatSet *stats_;
+};
+
+} // namespace conduit
+
+#endif // CONDUIT_DRAM_DRAM_HH

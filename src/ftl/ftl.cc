@@ -1,0 +1,350 @@
+#include "src/ftl/ftl.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace conduit
+{
+
+namespace
+{
+/** Fraction of physical blocks hidden as over-provisioning. */
+constexpr double kOverProvision = 0.07;
+} // namespace
+
+Ftl::Ftl(NandArray &nand, const SsdConfig &cfg, StatSet *stats)
+    : nand_(nand), cfg_(cfg), stats_(stats)
+{
+    const NandConfig &n = cfg_.nand;
+    const std::uint64_t total_blocks = static_cast<std::uint64_t>(
+        n.channels) * n.diesPerChannel * n.planesPerDie * n.blocksPerPlane;
+    blocks_.resize(total_blocks);
+    for (auto &b : blocks_) {
+        b.valid.assign(n.pagesPerBlock, false);
+        b.owner.assign(n.pagesPerBlock, kNoLpn);
+    }
+    freeBlockCount_ = total_blocks;
+
+    logicalPages_ = static_cast<std::uint64_t>(
+        static_cast<double>(n.totalPages()) * (1.0 - kOverProvision));
+    l2p_.assign(logicalPages_, kNoPpn);
+
+    const std::uint64_t plane_slots = static_cast<std::uint64_t>(
+        n.channels) * n.diesPerChannel * n.planesPerDie;
+    openBlock_.assign(plane_slots, ~0ULL);
+
+    mapCacheCapacity_ = std::max<std::uint64_t>(
+        64, static_cast<std::uint64_t>(
+                static_cast<double>(logicalPages_) *
+                cfg_.mappingCacheCoverage));
+}
+
+std::uint64_t
+Ftl::blockIndex(const FlashAddress &a) const
+{
+    const NandConfig &n = cfg_.nand;
+    std::uint64_t bi = a.channel;
+    bi = bi * n.diesPerChannel + a.die;
+    bi = bi * n.planesPerDie + a.plane;
+    bi = bi * n.blocksPerPlane + a.block;
+    return bi;
+}
+
+FlashAddress
+Ftl::blockAddress(std::uint64_t bi) const
+{
+    const NandConfig &n = cfg_.nand;
+    FlashAddress a;
+    a.block = static_cast<std::uint32_t>(bi % n.blocksPerPlane);
+    bi /= n.blocksPerPlane;
+    a.plane = static_cast<std::uint32_t>(bi % n.planesPerDie);
+    bi /= n.planesPerDie;
+    a.die = static_cast<std::uint32_t>(bi % n.diesPerChannel);
+    bi /= n.diesPerChannel;
+    a.channel = static_cast<std::uint32_t>(bi);
+    a.page = 0;
+    return a;
+}
+
+std::uint64_t
+Ftl::openBlockOn(std::uint64_t plane_slot)
+{
+    const NandConfig &n = cfg_.nand;
+    // Wear-aware selection: the free block with the fewest erases on
+    // this plane becomes the new open block (static wear-leveling).
+    // If the plane ran dry, collect garbage on it first.
+    const std::uint64_t base = plane_slot * n.blocksPerPlane;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        std::uint64_t best = ~0ULL;
+        for (std::uint64_t b = base; b < base + n.blocksPerPlane;
+             ++b) {
+            if (!blocks_[b].free)
+                continue;
+            if (best == ~0ULL ||
+                blocks_[b].eraseCount < blocks_[best].eraseCount) {
+                best = b;
+            }
+        }
+        if (best != ~0ULL) {
+            blocks_[best].free = false;
+            blocks_[best].writePtr = 0;
+            --freeBlockCount_;
+            return best;
+        }
+        if (attempt == 0 && !collectPlane(plane_slot, lastGcTick_))
+            break;
+    }
+    throw std::runtime_error("Ftl: plane out of free blocks");
+}
+
+Ppn
+Ftl::allocatePage(Tick now)
+{
+    const NandConfig &n = cfg_.nand;
+    const std::uint64_t slots = openBlock_.size();
+    // CWDP round-robin striping: consecutive writes land on
+    // different channels/dies to maximize internal parallelism.
+    const std::uint64_t slot = nextSlot_;
+    nextSlot_ = (nextSlot_ + 1) % slots;
+    if (openBlock_[slot] == ~0ULL ||
+        blocks_[openBlock_[slot]].writePtr >= n.pagesPerBlock) {
+        openBlock_[slot] = openBlockOn(slot);
+    }
+    BlockState &b = blocks_[openBlock_[slot]];
+    FlashAddress a = blockAddress(openBlock_[slot]);
+    a.page = b.writePtr++;
+    (void)now;
+    return nand_.encode(a);
+}
+
+void
+Ftl::touchMapCache(Lpn lpn, bool &hit)
+{
+    auto it = mapCache_.find(lpn);
+    if (it != mapCache_.end()) {
+        mapLru_.splice(mapLru_.begin(), mapLru_, it->second);
+        hit = true;
+        ++mapHits_;
+        return;
+    }
+    hit = false;
+    ++mapMisses_;
+    mapLru_.push_front(lpn);
+    mapCache_[lpn] = mapLru_.begin();
+    if (mapCache_.size() > mapCacheCapacity_) {
+        mapCache_.erase(mapLru_.back());
+        mapLru_.pop_back();
+    }
+}
+
+Ftl::Lookup
+Ftl::translate(Lpn lpn, Tick now)
+{
+    (void)now;
+    if (lpn >= logicalPages_)
+        throw std::out_of_range("Ftl::translate: lpn out of range");
+    Lookup r;
+    bool hit = false;
+    touchMapCache(lpn, hit);
+    r.cacheHit = hit;
+    r.latency = hit ? cfg_.overhead.l2pLookupDram
+                    : cfg_.overhead.l2pLookupFlash;
+    r.ppn = l2p_[lpn];
+    if (stats_)
+        stats_->counter(hit ? "ftl.map_hits" : "ftl.map_misses").inc();
+    return r;
+}
+
+Ppn
+Ftl::physicalOf(Lpn lpn) const
+{
+    if (lpn >= logicalPages_)
+        throw std::out_of_range("Ftl::physicalOf: lpn out of range");
+    return l2p_[lpn];
+}
+
+Tick
+Ftl::readPage(Lpn lpn, Tick now)
+{
+    Lookup lk = translate(lpn, now);
+    if (lk.ppn == kNoPpn)
+        throw std::logic_error("Ftl::readPage: unmapped lpn");
+    auto iv = nand_.readPage(nand_.decode(lk.ppn), now + lk.latency);
+    return iv.end;
+}
+
+void
+Ftl::invalidate(Ppn ppn)
+{
+    if (ppn == kNoPpn)
+        return;
+    const FlashAddress a = nand_.decode(ppn);
+    BlockState &b = blocks_[blockIndex(a)];
+    if (b.valid[a.page]) {
+        b.valid[a.page] = false;
+        b.owner[a.page] = kNoLpn;
+        --b.validCount;
+    }
+}
+
+Ftl::WriteResult
+Ftl::writePage(Lpn lpn, Tick now)
+{
+    if (lpn >= logicalPages_)
+        throw std::out_of_range("Ftl::writePage: lpn out of range");
+    bool hit = false;
+    touchMapCache(lpn, hit);
+    const Tick map_latency = hit ? cfg_.overhead.l2pLookupDram
+                                 : cfg_.overhead.l2pLookupFlash;
+
+    invalidate(l2p_[lpn]);
+    const Ppn ppn = allocatePage(now);
+    const FlashAddress a = nand_.decode(ppn);
+    BlockState &b = blocks_[blockIndex(a)];
+    b.valid[a.page] = true;
+    b.owner[a.page] = lpn;
+    ++b.validCount;
+    l2p_[lpn] = ppn;
+
+    auto iv = nand_.programPage(a, now + map_latency);
+    maybeGc(iv.end);
+    return {ppn, iv.end};
+}
+
+void
+Ftl::preload(std::uint64_t pages)
+{
+    if (pages > logicalPages_)
+        throw std::invalid_argument("Ftl::preload: exceeds capacity");
+    for (Lpn lpn = 0; lpn < pages; ++lpn) {
+        const Ppn ppn = allocatePage(0);
+        const FlashAddress a = nand_.decode(ppn);
+        BlockState &b = blocks_[blockIndex(a)];
+        b.valid[a.page] = true;
+        b.owner[a.page] = lpn;
+        ++b.validCount;
+        l2p_[lpn] = ppn;
+    }
+}
+
+bool
+Ftl::collectBlock(std::uint64_t victim, Tick now)
+{
+    const NandConfig &n = cfg_.nand;
+    ++gcRuns_;
+    if (stats_)
+        stats_->counter("ftl.gc_runs").inc();
+
+    BlockState &vb = blocks_[victim];
+    FlashAddress va = blockAddress(victim);
+    Tick t = now;
+    for (std::uint32_t p = 0; p < n.pagesPerBlock; ++p) {
+        if (!vb.valid[p])
+            continue;
+        const Lpn lpn = vb.owner[p];
+        va.page = p;
+        // Migrate: sense the valid page, then program a fresh copy.
+        auto rd = nand_.readPage(va, t);
+        const Ppn dst = allocatePage(rd.end);
+        const FlashAddress da = nand_.decode(dst);
+        BlockState &db = blocks_[blockIndex(da)];
+        db.valid[da.page] = true;
+        db.owner[da.page] = lpn;
+        ++db.validCount;
+        auto wr = nand_.programPage(da, rd.end);
+        l2p_[lpn] = dst;
+        vb.valid[p] = false;
+        vb.owner[p] = kNoLpn;
+        --vb.validCount;
+        t = wr.end;
+        if (stats_)
+            stats_->counter("ftl.gc_migrations").inc();
+    }
+    va.page = 0;
+    nand_.eraseBlock(va, t);
+    ++vb.eraseCount;
+    vb.free = true;
+    vb.writePtr = 0;
+    ++freeBlockCount_;
+    return true;
+}
+
+bool
+Ftl::collectPlane(std::uint64_t plane_slot, Tick now)
+{
+    // Reclaim the cheapest full, closed victim on this plane. Open
+    // blocks (incl. the plane's current write target) are skipped.
+    const NandConfig &n = cfg_.nand;
+    const std::uint64_t base = plane_slot * n.blocksPerPlane;
+    std::uint64_t victim = ~0ULL;
+    for (std::uint64_t b = base; b < base + n.blocksPerPlane; ++b) {
+        const BlockState &bs = blocks_[b];
+        if (bs.free || bs.writePtr < n.pagesPerBlock)
+            continue;
+        if (bs.validCount >= n.pagesPerBlock)
+            continue; // nothing reclaimable
+        if (victim == ~0ULL ||
+            bs.validCount < blocks_[victim].validCount) {
+            victim = b;
+        }
+    }
+    if (victim == ~0ULL)
+        return false;
+    return collectBlock(victim, now);
+}
+
+void
+Ftl::maybeGc(Tick now)
+{
+    lastGcTick_ = now;
+    const NandConfig &n = cfg_.nand;
+    // Reclaim until the free pool recovers or no victim remains.
+    for (int iter = 0; iter < 8; ++iter) {
+        const double free_fraction =
+            static_cast<double>(freeBlockCount_) /
+            static_cast<double>(blocks_.size());
+        if (free_fraction >= cfg_.gcThreshold)
+            return;
+
+        // Greedy victim selection: the full block with the fewest
+        // valid pages costs the least migration work.
+        std::uint64_t victim = ~0ULL;
+        for (std::uint64_t bi = 0; bi < blocks_.size(); ++bi) {
+            const BlockState &b = blocks_[bi];
+            if (b.free || b.writePtr < n.pagesPerBlock)
+                continue; // only full, closed blocks
+            if (b.validCount >= n.pagesPerBlock)
+                continue;
+            if (victim == ~0ULL ||
+                b.validCount < blocks_[victim].validCount) {
+                victim = bi;
+            }
+        }
+        if (victim == ~0ULL)
+            return;
+        collectBlock(victim, now);
+    }
+}
+
+std::uint32_t
+Ftl::maxErase() const
+{
+    std::uint32_t m = 0;
+    for (const auto &b : blocks_)
+        m = std::max(m, b.eraseCount);
+    return m;
+}
+
+std::uint32_t
+Ftl::minEraseOfUsed() const
+{
+    std::uint32_t m = ~0U;
+    for (const auto &b : blocks_) {
+        if (!b.free)
+            m = std::min(m, b.eraseCount);
+    }
+    return m == ~0U ? 0 : m;
+}
+
+} // namespace conduit

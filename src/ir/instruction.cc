@@ -1,0 +1,29 @@
+#include "src/ir/instruction.hh"
+
+#include <sstream>
+
+namespace conduit
+{
+
+std::string
+VecInstruction::toString() const
+{
+    std::ostringstream os;
+    os << "#" << id << " " << opName(op) << "<" << lanes << "x i"
+       << elemBits << ">";
+    for (const auto &s : srcs)
+        os << " p" << s.basePage << "+" << s.pageCount;
+    if (dst.pageCount > 0)
+        os << " -> p" << dst.basePage << "+" << dst.pageCount;
+    if (!vectorized)
+        os << " [scalar]";
+    if (!deps.empty()) {
+        os << " deps{";
+        for (std::size_t i = 0; i < deps.size(); ++i)
+            os << (i ? "," : "") << deps[i];
+        os << "}";
+    }
+    return os.str();
+}
+
+} // namespace conduit

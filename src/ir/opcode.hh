@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Vector operation codes and their properties.
+ *
+ * The opcode set is the union of what the three SSD compute resources
+ * support (§4.3.2): ISP executes everything (~300-instruction ARM/MVE
+ * ISA, abstracted here), PuD-SSD supports 16 operations (bitwise,
+ * arithmetic, predication, relational, copy; SIMDRAM/MIMDRAM/Proteus),
+ * and IFP supports nine (six bitwise via Flash-Cosmos multi-wordline
+ * sensing, three arithmetic via Ares-Flash latch shift_and_add).
+ *
+ * Each opcode carries a latency class (Table 3's low/medium/high
+ * taxonomy) used by workload characterization and the cost function.
+ */
+
+#ifndef CONDUIT_IR_OPCODE_HH
+#define CONDUIT_IR_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace conduit
+{
+
+/** Vector operation kinds. */
+enum class OpCode : std::uint8_t
+{
+    // Bulk-bitwise (low latency class).
+    And,
+    Or,
+    Xor,
+    Not,
+    Nand,
+    Nor,
+    ShiftL,
+    ShiftR,
+
+    // Arithmetic / predication / relational (medium latency class).
+    Add,
+    Sub,
+    CmpLt,
+    CmpEq,
+    Select,     // predicated merge: dst = mask ? a : b
+    Min,
+    Max,
+    Copy,       // bulk copy / initialization (RowClone-style)
+
+    // Expensive arithmetic and data-reorganization (high latency).
+    Mul,
+    Div,
+    Mac,        // multiply-accumulate
+    Shuffle,    // lane permutation
+    Gather,     // indirect load
+    Scatter,    // indirect store
+    Exp,        // transcendental approximation (softmax)
+    Rsqrt,      // reciprocal square root (rmsnorm)
+
+    NumOpCodes,
+};
+
+constexpr std::size_t kNumOpCodes =
+    static_cast<std::size_t>(OpCode::NumOpCodes);
+
+/** Table 3 latency classes. */
+enum class LatencyClass : std::uint8_t { Low, Medium, High };
+
+/** Broad operation families used by the cost function metadata. */
+enum class OpFamily : std::uint8_t
+{
+    Bitwise,
+    Arithmetic,
+    Predication,
+    Reduction,
+    Movement,
+    Transcendental,
+};
+
+/** Latency class of an opcode (Table 3 taxonomy). */
+constexpr LatencyClass
+latencyClass(OpCode op)
+{
+    switch (op) {
+      case OpCode::And:
+      case OpCode::Or:
+      case OpCode::Xor:
+      case OpCode::Not:
+      case OpCode::Nand:
+      case OpCode::Nor:
+      case OpCode::ShiftL:
+      case OpCode::ShiftR:
+        return LatencyClass::Low;
+      case OpCode::Add:
+      case OpCode::Sub:
+      case OpCode::CmpLt:
+      case OpCode::CmpEq:
+      case OpCode::Select:
+      case OpCode::Min:
+      case OpCode::Max:
+      case OpCode::Copy:
+        return LatencyClass::Medium;
+      default:
+        return LatencyClass::High;
+    }
+}
+
+/** Operation family (embedded as compile-time metadata, §4.3.1). */
+constexpr OpFamily
+opFamily(OpCode op)
+{
+    switch (op) {
+      case OpCode::And:
+      case OpCode::Or:
+      case OpCode::Xor:
+      case OpCode::Not:
+      case OpCode::Nand:
+      case OpCode::Nor:
+      case OpCode::ShiftL:
+      case OpCode::ShiftR:
+        return OpFamily::Bitwise;
+      case OpCode::Add:
+      case OpCode::Sub:
+      case OpCode::Mul:
+      case OpCode::Div:
+      case OpCode::Mac:
+        return OpFamily::Arithmetic;
+      case OpCode::CmpLt:
+      case OpCode::CmpEq:
+      case OpCode::Select:
+      case OpCode::Min:
+      case OpCode::Max:
+        return OpFamily::Predication;
+      case OpCode::Copy:
+      case OpCode::Shuffle:
+      case OpCode::Gather:
+      case OpCode::Scatter:
+        return OpFamily::Movement;
+      default:
+        return OpFamily::Transcendental;
+    }
+}
+
+/**
+ * True if PuD-SSD (SIMDRAM/MIMDRAM/Proteus substrate) supports the
+ * opcode. 16 operations: arithmetic, predication, relational, bitwise
+ * and bulk copy. No lane permutation or indirect access.
+ */
+constexpr bool
+pudSupports(OpCode op)
+{
+    switch (op) {
+      case OpCode::And:
+      case OpCode::Or:
+      case OpCode::Xor:
+      case OpCode::Not:
+      case OpCode::Nand:
+      case OpCode::Nor:
+      case OpCode::ShiftL:
+      case OpCode::ShiftR:
+      case OpCode::Add:
+      case OpCode::Sub:
+      case OpCode::CmpLt:
+      case OpCode::CmpEq:
+      case OpCode::Select:
+      case OpCode::Min:
+      case OpCode::Max:
+      case OpCode::Copy:
+      case OpCode::Mul:
+      case OpCode::Mac:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * True if IFP (Flash-Cosmos + Ares-Flash substrate) supports the
+ * opcode: six bitwise operations via multi-wordline sensing, three
+ * arithmetic operations (addition, subtraction and
+ * shift_and_add-based multiplication), plus the latch-level shift
+ * and page-buffer copy primitives that shift_and_add builds on.
+ */
+constexpr bool
+ifpSupports(OpCode op)
+{
+    switch (op) {
+      case OpCode::And:
+      case OpCode::Or:
+      case OpCode::Xor:
+      case OpCode::Not:
+      case OpCode::Nand:
+      case OpCode::Nor:
+      case OpCode::Add:
+      case OpCode::Sub:
+      case OpCode::Mul:
+      case OpCode::ShiftL:
+      case OpCode::ShiftR:
+      case OpCode::Copy:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * True for operations computed by multi-wordline sensing (MWS),
+ * which read operands directly from the flash cells: such operands
+ * must reside in the array, not in the page-buffer latches.
+ * Latch-class IFP operations (XOR, NOT, shift, copy, Ares-Flash
+ * arithmetic) can take latch-resident operands.
+ */
+constexpr bool
+ifpRequiresArrayOperands(OpCode op)
+{
+    switch (op) {
+      case OpCode::And:
+      case OpCode::Or:
+      case OpCode::Nand:
+      case OpCode::Nor:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** ISP's general-purpose core supports every opcode. */
+constexpr bool
+ispSupports(OpCode)
+{
+    return true;
+}
+
+/** Short mnemonic for printing/traces. */
+constexpr std::string_view
+opName(OpCode op)
+{
+    switch (op) {
+      case OpCode::And: return "and";
+      case OpCode::Or: return "or";
+      case OpCode::Xor: return "xor";
+      case OpCode::Not: return "not";
+      case OpCode::Nand: return "nand";
+      case OpCode::Nor: return "nor";
+      case OpCode::ShiftL: return "shl";
+      case OpCode::ShiftR: return "shr";
+      case OpCode::Add: return "add";
+      case OpCode::Sub: return "sub";
+      case OpCode::CmpLt: return "cmplt";
+      case OpCode::CmpEq: return "cmpeq";
+      case OpCode::Select: return "select";
+      case OpCode::Min: return "min";
+      case OpCode::Max: return "max";
+      case OpCode::Copy: return "copy";
+      case OpCode::Mul: return "mul";
+      case OpCode::Div: return "div";
+      case OpCode::Mac: return "mac";
+      case OpCode::Shuffle: return "shuffle";
+      case OpCode::Gather: return "gather";
+      case OpCode::Scatter: return "scatter";
+      case OpCode::Exp: return "exp";
+      case OpCode::Rsqrt: return "rsqrt";
+      default: return "invalid";
+    }
+}
+
+} // namespace conduit
+
+#endif // CONDUIT_IR_OPCODE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * In-storage-processing compute model: the SSD controller's embedded
+ * core repurposed for offloaded computation (§2.2).
+ *
+ * One ARM Cortex-R8-class core (of the controller's five; the rest
+ * run the FTL, host protocol and Conduit's offloader, per the §4.3.2
+ * footnote) executes vector work through its 32-byte MVE SIMD
+ * datapath. For bulk vectors the core is memory-bound: sustained
+ * throughput is capped by its streaming bandwidth to SSD DRAM.
+ * Residual scalar instructions (non-vectorized code, §7) run on the
+ * scalar pipeline at a configurable CPI.
+ */
+
+#ifndef CONDUIT_ISP_ISP_CORE_HH
+#define CONDUIT_ISP_ISP_CORE_HH
+
+#include <cstdint>
+
+#include "src/ir/opcode.hh"
+#include "src/sim/config.hh"
+#include "src/sim/server.hh"
+#include "src/sim/stats.hh"
+
+namespace conduit
+{
+
+/**
+ * Timing model for the controller compute core.
+ */
+class IspCore
+{
+  public:
+    IspCore(const IspConfig &cfg, const ComputeModelConfig &model,
+            StatSet *stats = nullptr);
+
+    /** The general-purpose core executes the full opcode set. */
+    static bool supports(OpCode) { return true; }
+
+    /**
+     * Execute a vector (or residual scalar) fragment on the core.
+     *
+     * @param op Operation.
+     * @param elem_bits Element width.
+     * @param lanes Element count.
+     * @param num_srcs Source operand count (memory traffic model).
+     * @param vectorized False for residual scalar code.
+     * @param earliest Earliest start.
+     */
+    ServiceInterval execute(OpCode op, std::uint16_t elem_bits,
+                            std::uint32_t lanes, std::uint32_t num_srcs,
+                            bool vectorized, Tick earliest);
+
+    /** Contention-free latency estimate for the cost function. */
+    Tick estimate(OpCode op, std::uint16_t elem_bits,
+                  std::uint32_t lanes, std::uint32_t num_srcs,
+                  bool vectorized) const;
+
+    /** Pending-work backlog (delay_queue input). */
+    Tick backlog(Tick now) const { return core_.backlog(now); }
+
+    Tick busyTime() const { return core_.busyTime(); }
+
+    void reset() { core_.reset(); }
+
+  private:
+    double cyclesPerSimd(OpCode op) const;
+
+    IspConfig cfg_;
+    ComputeModelConfig model_;
+    Server core_;
+    StatSet *stats_;
+};
+
+} // namespace conduit
+
+#endif // CONDUIT_ISP_ISP_CORE_HH

@@ -1,0 +1,158 @@
+#include "src/nand/nand.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace conduit
+{
+
+NandArray::NandArray(const NandConfig &cfg, StatSet *stats)
+    : cfg_(cfg), stats_(stats)
+{
+    dies_.reserve(numDies());
+    for (std::uint32_t d = 0; d < numDies(); ++d)
+        dies_.emplace_back("nand.die" + std::to_string(d));
+    channels_.reserve(cfg_.channels);
+    for (std::uint32_t c = 0; c < cfg_.channels; ++c)
+        channels_.emplace_back("nand.ch" + std::to_string(c));
+}
+
+FlashAddress
+NandArray::decode(Ppn ppn) const
+{
+    FlashAddress a;
+    a.page = static_cast<std::uint32_t>(ppn % cfg_.pagesPerBlock);
+    ppn /= cfg_.pagesPerBlock;
+    a.block = static_cast<std::uint32_t>(ppn % cfg_.blocksPerPlane);
+    ppn /= cfg_.blocksPerPlane;
+    a.plane = static_cast<std::uint32_t>(ppn % cfg_.planesPerDie);
+    ppn /= cfg_.planesPerDie;
+    a.die = static_cast<std::uint32_t>(ppn % cfg_.diesPerChannel);
+    ppn /= cfg_.diesPerChannel;
+    a.channel = static_cast<std::uint32_t>(ppn);
+    if (a.channel >= cfg_.channels)
+        throw std::out_of_range("NandArray::decode: ppn out of range");
+    return a;
+}
+
+Ppn
+NandArray::encode(const FlashAddress &a) const
+{
+    Ppn ppn = a.channel;
+    ppn = ppn * cfg_.diesPerChannel + a.die;
+    ppn = ppn * cfg_.planesPerDie + a.plane;
+    ppn = ppn * cfg_.blocksPerPlane + a.block;
+    ppn = ppn * cfg_.pagesPerBlock + a.page;
+    return ppn;
+}
+
+ServiceInterval
+NandArray::readPage(const FlashAddress &a, Tick earliest)
+{
+    auto iv = dies_[dieIndex(a)].acquire(earliest,
+                                         cfg_.cmdTicks + cfg_.readTicks);
+    if (stats_)
+        stats_->counter("nand.reads").inc();
+    return iv;
+}
+
+ServiceInterval
+NandArray::programPage(const FlashAddress &a, Tick earliest)
+{
+    auto iv = dies_[dieIndex(a)].acquire(
+        earliest, cfg_.cmdTicks + cfg_.programTicks);
+    if (stats_)
+        stats_->counter("nand.programs").inc();
+    return iv;
+}
+
+ServiceInterval
+NandArray::eraseBlock(const FlashAddress &a, Tick earliest)
+{
+    auto iv = dies_[dieIndex(a)].acquire(
+        earliest, cfg_.cmdTicks + cfg_.eraseTicks);
+    if (stats_)
+        stats_->counter("nand.erases").inc();
+    return iv;
+}
+
+ServiceInterval
+NandArray::transferOut(std::uint32_t channel, std::uint64_t bytes,
+                       Tick earliest)
+{
+    const Tick dur = cfg_.dmaTicks +
+        transferTicks(bytes, cfg_.channelBytesPerSec);
+    auto iv = channels_.at(channel).acquire(earliest, dur);
+    if (stats_) {
+        stats_->counter("nand.xfer_out_bytes").inc(bytes);
+        stats_->counter("nand.dma_ops").inc();
+    }
+    return iv;
+}
+
+ServiceInterval
+NandArray::transferIn(std::uint32_t channel, std::uint64_t bytes,
+                      Tick earliest)
+{
+    const Tick dur = cfg_.dmaTicks +
+        transferTicks(bytes, cfg_.channelBytesPerSec);
+    auto iv = channels_.at(channel).acquire(earliest, dur);
+    if (stats_) {
+        stats_->counter("nand.xfer_in_bytes").inc(bytes);
+        stats_->counter("nand.dma_ops").inc();
+    }
+    return iv;
+}
+
+Tick
+NandArray::dieBacklog(std::uint32_t die_index, Tick now) const
+{
+    return dies_.at(die_index).backlog(now);
+}
+
+Tick
+NandArray::minDieBacklog(Tick now) const
+{
+    Tick best = kMaxTick;
+    for (const auto &d : dies_)
+        best = std::min(best, d.backlog(now));
+    return best == kMaxTick ? 0 : best;
+}
+
+Tick
+NandArray::channelBacklog(std::uint32_t channel, Tick now) const
+{
+    return channels_.at(channel).backlog(now);
+}
+
+Tick
+NandArray::minChannelBacklog(Tick now) const
+{
+    Tick best = kMaxTick;
+    for (const auto &c : channels_)
+        best = std::min(best, c.backlog(now));
+    return best == kMaxTick ? 0 : best;
+}
+
+double
+NandArray::channelUtilization(Tick now) const
+{
+    if (now == 0)
+        return 0.0;
+    Tick busy = 0;
+    for (const auto &c : channels_)
+        busy += c.busyTime();
+    return static_cast<double>(busy) /
+        (static_cast<double>(now) * channels_.size());
+}
+
+void
+NandArray::reset()
+{
+    for (auto &d : dies_)
+        d.reset();
+    for (auto &c : channels_)
+        c.reset();
+}
+
+} // namespace conduit

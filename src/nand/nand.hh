@@ -1,0 +1,129 @@
+/**
+ * @file
+ * NAND flash array timing model.
+ *
+ * Models the device hierarchy of Fig. 1/3: channels shared by dies,
+ * dies containing planes, planes containing blocks of pages. Dies
+ * execute read/program/erase (and IFP sensing) operations and are
+ * independently busy; channels are the shared command/data buses that
+ * flash controllers arbitrate. Both are FCFS Servers, so queueing and
+ * contention emerge from reservation order, as in MQSim.
+ */
+
+#ifndef CONDUIT_NAND_NAND_HH
+#define CONDUIT_NAND_NAND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/config.hh"
+#include "src/sim/server.hh"
+#include "src/sim/stats.hh"
+#include "src/sim/types.hh"
+
+namespace conduit
+{
+
+/** Physical page number (dense index over the whole device). */
+using Ppn = std::uint64_t;
+
+/** Decoded physical flash address. */
+struct FlashAddress
+{
+    std::uint32_t channel = 0;
+    std::uint32_t die = 0;     // within channel
+    std::uint32_t plane = 0;
+    std::uint32_t block = 0;   // within plane
+    std::uint32_t page = 0;    // within block
+
+    bool
+    operator==(const FlashAddress &o) const
+    {
+        return channel == o.channel && die == o.die &&
+            plane == o.plane && block == o.block && page == o.page;
+    }
+};
+
+/**
+ * The flash array: address codec, per-die and per-channel timing.
+ */
+class NandArray
+{
+  public:
+    explicit NandArray(const NandConfig &cfg, StatSet *stats = nullptr);
+
+    const NandConfig &config() const { return cfg_; }
+
+    /** @name Address codec @{ */
+    FlashAddress decode(Ppn ppn) const;
+    Ppn encode(const FlashAddress &a) const;
+    std::uint32_t
+    dieIndex(const FlashAddress &a) const
+    {
+        return a.channel * cfg_.diesPerChannel + a.die;
+    }
+    /** @} */
+
+    /**
+     * Sense one page into the die's page buffer (tR). Does not
+     * include channel transfer; see transferOut().
+     */
+    ServiceInterval readPage(const FlashAddress &a, Tick earliest);
+
+    /** Program one page from the page buffer (tPROG). */
+    ServiceInterval programPage(const FlashAddress &a, Tick earliest);
+
+    /** Erase a block (tBERS). */
+    ServiceInterval eraseBlock(const FlashAddress &a, Tick earliest);
+
+    /**
+     * Occupy a die for an arbitrary in-die operation (used by the
+     * IFP unit for multi-wordline sensing and latch sequences).
+     */
+    ServiceInterval
+    occupyDie(std::uint32_t die_index, Tick earliest, Tick duration)
+    {
+        return dies_[die_index].acquire(earliest, duration);
+    }
+
+    /**
+     * Move @p bytes between a die's page buffer and the flash
+     * controller over the channel bus (tDMA + serialization).
+     */
+    ServiceInterval transferOut(std::uint32_t channel, std::uint64_t bytes,
+                                Tick earliest);
+
+    /** Same cost/path as transferOut, kept separate for stats. */
+    ServiceInterval transferIn(std::uint32_t channel, std::uint64_t bytes,
+                               Tick earliest);
+
+    /** Backlog (pending work) of the busiest resource class. @{ */
+    Tick dieBacklog(std::uint32_t die_index, Tick now) const;
+    Tick minDieBacklog(Tick now) const;
+    Tick channelBacklog(std::uint32_t channel, Tick now) const;
+    Tick minChannelBacklog(Tick now) const;
+    /** @} */
+
+    /** Aggregate channel utilization in [0,1] up to @p now. */
+    double channelUtilization(Tick now) const;
+
+    std::uint32_t numDies() const
+    {
+        return cfg_.channels * cfg_.diesPerChannel;
+    }
+
+    Server &die(std::uint32_t die_index) { return dies_.at(die_index); }
+    Server &channel(std::uint32_t ch) { return channels_.at(ch); }
+
+    void reset();
+
+  private:
+    NandConfig cfg_;
+    std::vector<Server> dies_;
+    std::vector<Server> channels_;
+    StatSet *stats_;
+};
+
+} // namespace conduit
+
+#endif // CONDUIT_NAND_NAND_HH

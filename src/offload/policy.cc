@@ -1,0 +1,179 @@
+#include "src/offload/policy.hh"
+
+#include <limits>
+#include <stdexcept>
+
+namespace conduit
+{
+
+namespace
+{
+
+constexpr std::array<Target, kNumTargets> kAllTargets = {
+    Target::Isp, Target::Pud, Target::Ifp};
+
+/** Residual scalar code can only run on the general-purpose core. */
+bool
+forcedToIsp(const VecInstruction &instr)
+{
+    return !instr.vectorized;
+}
+
+} // namespace
+
+Target
+ConduitPolicy::select(const VecInstruction &instr, const CostFeatures &f)
+{
+    if (forcedToIsp(instr))
+        return Target::Isp;
+    Target best = Target::Isp;
+    Tick best_cost = kMaxTick;
+    for (Target t : kAllTargets) {
+        const auto i = static_cast<std::size_t>(t);
+        if (!f.supported[i])
+            continue;
+        Tick cost = f.comp[i];
+        if (ab_.useDmLatency)
+            cost += f.dm[i];
+        const Tick dep = ab_.useDepDelay ? f.depDelay : 0;
+        const Tick queue = ab_.useQueueDelay ? f.queue[i] : 0;
+        cost += std::max(dep, queue);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = t;
+        }
+    }
+    return best;
+}
+
+std::string
+ConduitPolicy::name() const
+{
+    std::string n = "Conduit";
+    if (!ab_.useQueueDelay)
+        n += "-noQueue";
+    if (!ab_.useDmLatency)
+        n += "-noDM";
+    if (!ab_.useDepDelay)
+        n += "-noDep";
+    return n;
+}
+
+Target
+DmOffloadPolicy::select(const VecInstruction &instr, const CostFeatures &f)
+{
+    if (forcedToIsp(instr))
+        return Target::Isp;
+    // Minimize bytes moved; prefer IFP then PuD on ties, since data
+    // begins flash-resident and this class of techniques chases
+    // movement reduction above all else.
+    static constexpr std::array<Target, kNumTargets> kPreference = {
+        Target::Ifp, Target::Pud, Target::Isp};
+    Target best = Target::Isp;
+    std::uint64_t best_bytes = ~0ULL;
+    for (Target t : kPreference) {
+        const auto i = static_cast<std::size_t>(t);
+        if (!f.supported[i])
+            continue;
+        if (f.dmBytes[i] < best_bytes) {
+            best_bytes = f.dmBytes[i];
+            best = t;
+        }
+    }
+    return best;
+}
+
+Target
+BwOffloadPolicy::select(const VecInstruction &instr, const CostFeatures &f)
+{
+    if (forcedToIsp(instr))
+        return Target::Isp;
+    Target best = Target::Isp;
+    double best_util = std::numeric_limits<double>::infinity();
+    for (Target t : kAllTargets) {
+        const auto i = static_cast<std::size_t>(t);
+        if (!f.supported[i])
+            continue;
+        if (f.bwUtil[i] < best_util) {
+            best_util = f.bwUtil[i];
+            best = t;
+        }
+    }
+    return best;
+}
+
+Target
+IdealPolicy::select(const VecInstruction &instr, const CostFeatures &f)
+{
+    if (forcedToIsp(instr))
+        return Target::Isp;
+    Target best = Target::Isp;
+    Tick best_cost = kMaxTick;
+    for (Target t : kAllTargets) {
+        const auto i = static_cast<std::size_t>(t);
+        if (!f.supported[i])
+            continue;
+        if (f.comp[i] < best_cost) {
+            best_cost = f.comp[i];
+            best = t;
+        }
+    }
+    return best;
+}
+
+Target
+PudOnlyPolicy::select(const VecInstruction &instr, const CostFeatures &f)
+{
+    if (forcedToIsp(instr))
+        return Target::Isp;
+    return f.supported[static_cast<std::size_t>(Target::Pud)]
+        ? Target::Pud
+        : Target::Isp;
+}
+
+Target
+FlashCosmosPolicy::select(const VecInstruction &instr,
+                          const CostFeatures &f)
+{
+    if (forcedToIsp(instr))
+        return Target::Isp;
+    const bool bitwise = opFamily(instr.op) == OpFamily::Bitwise &&
+        instr.op != OpCode::ShiftL && instr.op != OpCode::ShiftR;
+    if (bitwise && f.supported[static_cast<std::size_t>(Target::Ifp)])
+        return Target::Ifp;
+    return Target::Isp;
+}
+
+Target
+AresFlashPolicy::select(const VecInstruction &instr, const CostFeatures &f)
+{
+    if (forcedToIsp(instr))
+        return Target::Isp;
+    return f.supported[static_cast<std::size_t>(Target::Ifp)]
+        ? Target::Ifp
+        : Target::Isp;
+}
+
+std::unique_ptr<OffloadPolicy>
+makePolicy(const std::string &name)
+{
+    if (name == "Conduit")
+        return std::make_unique<ConduitPolicy>();
+    if (name == "DM-Offloading")
+        return std::make_unique<DmOffloadPolicy>();
+    if (name == "BW-Offloading")
+        return std::make_unique<BwOffloadPolicy>();
+    if (name == "Ideal")
+        return std::make_unique<IdealPolicy>();
+    if (name == "ISP")
+        return std::make_unique<IspOnlyPolicy>();
+    if (name == "PuD-SSD")
+        return std::make_unique<PudOnlyPolicy>();
+    if (name == "Flash-Cosmos")
+        return std::make_unique<FlashCosmosPolicy>();
+    if (name == "Ares-Flash")
+        return std::make_unique<AresFlashPolicy>();
+    throw std::invalid_argument("makePolicy: unknown policy " + name);
+}
+
+} // namespace conduit

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Offloading policies: Conduit's holistic cost function and the prior
+ * approaches it is evaluated against (§5.3).
+ *
+ * Every policy sees the same per-instruction feature vector (the six
+ * features of Table 1, precomputed by the engine) and returns a
+ * target resource. Differences between techniques therefore come
+ * only from the decision rule, mirroring the paper's methodology
+ * where all baselines run on the same simulator.
+ */
+
+#ifndef CONDUIT_OFFLOAD_POLICY_HH
+#define CONDUIT_OFFLOAD_POLICY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/ir/instruction.hh"
+#include "src/sim/types.hh"
+
+namespace conduit
+{
+
+/** SSD computation resources (the three NDP paradigms). */
+enum class Target : std::uint8_t { Isp = 0, Pud = 1, Ifp = 2 };
+
+constexpr std::size_t kNumTargets = 3;
+
+constexpr std::string_view
+targetName(Target t)
+{
+    switch (t) {
+      case Target::Isp: return "ISP";
+      case Target::Pud: return "PuD-SSD";
+      case Target::Ifp: return "IFP";
+    }
+    return "?";
+}
+
+/**
+ * The per-instruction feature vector (Table 1) as computed by the
+ * engine at decision time.
+ */
+struct CostFeatures
+{
+    /** Expected computation latency per resource (latency_comp). */
+    std::array<Tick, kNumTargets> comp{};
+
+    /** Data-movement latency per resource (latency_dm, static). */
+    std::array<Tick, kNumTargets> dm{};
+
+    /** Resource queueing delay per resource (delay_queue). */
+    std::array<Tick, kNumTargets> queue{};
+
+    /** Data-dependence delay (delay_dd, operand availability). */
+    Tick depDelay = 0;
+
+    /** Operation supported by the resource's native ISA. */
+    std::array<bool, kNumTargets> supported{};
+
+    /** Bytes that would move if the resource were chosen. */
+    std::array<std::uint64_t, kNumTargets> dmBytes{};
+
+    /** Cumulative bandwidth utilization of the resource's bus. */
+    std::array<double, kNumTargets> bwUtil{};
+
+    /** Eqn. 1: total offloading latency for resource @p t. */
+    Tick
+    totalLatency(Target t) const
+    {
+        const auto i = static_cast<std::size_t>(t);
+        return comp[i] + dm[i] + std::max(depDelay, queue[i]);
+    }
+};
+
+/**
+ * Abstract offloading policy.
+ */
+class OffloadPolicy
+{
+  public:
+    virtual ~OffloadPolicy() = default;
+
+    /** Pick the execution target for @p instr. */
+    virtual Target select(const VecInstruction &instr,
+                          const CostFeatures &f) = 0;
+
+    /** Display name used in bench tables. */
+    virtual std::string name() const = 0;
+
+    /**
+     * True if the engine should run in idealized mode for this
+     * policy (no contention, zero data-movement latency, §5.3).
+     */
+    virtual bool ideal() const { return false; }
+};
+
+/**
+ * Conduit's holistic cost function (Eqn. 1/2): argmin over supported
+ * resources of comp + dm + max(dep, queue). Feature-ablation flags
+ * support the ablation bench.
+ */
+class ConduitPolicy : public OffloadPolicy
+{
+  public:
+    struct Ablation
+    {
+        bool useQueueDelay = true;
+        bool useDmLatency = true;
+        bool useDepDelay = true;
+    };
+
+    ConduitPolicy() = default;
+    explicit ConduitPolicy(Ablation ab) : ab_(ab) {}
+
+    Target select(const VecInstruction &instr,
+                  const CostFeatures &f) override;
+
+    std::string name() const override;
+
+  private:
+    Ablation ab_;
+};
+
+/**
+ * DM-Offloading: minimize operand data movement (ALP-style). Ties
+ * break toward IFP (data is flash-resident), then PuD — the bias the
+ * paper observes pushes this policy into flash contention.
+ */
+class DmOffloadPolicy : public OffloadPolicy
+{
+  public:
+    Target select(const VecInstruction &instr,
+                  const CostFeatures &f) override;
+    std::string name() const override { return "DM-Offloading"; }
+};
+
+/**
+ * BW-Offloading: pick the resource whose bus/compute path has the
+ * lowest bandwidth utilization (TOM-style), ignoring movement cost.
+ */
+class BwOffloadPolicy : public OffloadPolicy
+{
+  public:
+    Target select(const VecInstruction &instr,
+                  const CostFeatures &f) override;
+    std::string name() const override { return "BW-Offloading"; }
+};
+
+/**
+ * Ideal: no contention, zero movement latency, lowest computation
+ * latency (upper bound, not realizable; §5.3).
+ */
+class IdealPolicy : public OffloadPolicy
+{
+  public:
+    Target select(const VecInstruction &instr,
+                  const CostFeatures &f) override;
+    std::string name() const override { return "Ideal"; }
+    bool ideal() const override { return true; }
+};
+
+/** All computation on the controller core (Active-Flash-style ISP). */
+class IspOnlyPolicy : public OffloadPolicy
+{
+  public:
+    Target select(const VecInstruction &,
+                  const CostFeatures &) override
+    {
+        return Target::Isp;
+    }
+    std::string name() const override { return "ISP"; }
+};
+
+/** PuD for every supported op, controller core otherwise (MIMDRAM). */
+class PudOnlyPolicy : public OffloadPolicy
+{
+  public:
+    Target select(const VecInstruction &instr,
+                  const CostFeatures &f) override;
+    std::string name() const override { return "PuD-SSD"; }
+};
+
+/** Flash-Cosmos: bulk-bitwise in flash, everything else on ISP. */
+class FlashCosmosPolicy : public OffloadPolicy
+{
+  public:
+    Target select(const VecInstruction &instr,
+                  const CostFeatures &f) override;
+    std::string name() const override { return "Flash-Cosmos"; }
+};
+
+/** Ares-Flash: bitwise + integer arithmetic in flash, rest on ISP. */
+class AresFlashPolicy : public OffloadPolicy
+{
+  public:
+    Target select(const VecInstruction &instr,
+                  const CostFeatures &f) override;
+    std::string name() const override { return "Ares-Flash"; }
+};
+
+/** Factory by display name (used by benches/examples). */
+std::unique_ptr<OffloadPolicy> makePolicy(const std::string &name);
+
+} // namespace conduit
+
+#endif // CONDUIT_OFFLOAD_POLICY_HH

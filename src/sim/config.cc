@@ -1,0 +1,22 @@
+#include "src/sim/config.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conduit
+{
+
+SsdConfig
+SsdConfig::scaled(double blocks_fraction)
+{
+    SsdConfig cfg;
+    if (blocks_fraction >= 1.0)
+        return cfg;
+    const double f = std::max(blocks_fraction, 1e-6);
+    const auto blocks = static_cast<std::uint32_t>(
+        std::max(4.0, std::round(cfg.nand.blocksPerPlane * f)));
+    cfg.nand.blocksPerPlane = blocks;
+    return cfg;
+}
+
+} // namespace conduit

@@ -1,0 +1,66 @@
+#include "src/sim/event_queue.hh"
+
+#include <stdexcept>
+
+namespace conduit
+{
+
+EventId
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    if (when < now_)
+        throw std::logic_error("EventQueue: scheduling event in the past");
+    const EventId id = nextId_++;
+    heap_.push(Entry{when, priority, id, std::move(cb)});
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // Lazy cancellation: we cannot remove from the middle of the heap,
+    // so remember the id and discard the entry when it surfaces.
+    if (id == 0 || id >= nextId_)
+        return false;
+    return cancelled_.insert(id).second;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        auto it = cancelled_.find(e.id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = e.when;
+        ++fired_;
+        e.cb();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick until)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty()) {
+        // Peek past cancelled entries to find the next live event time.
+        while (!heap_.empty() &&
+               cancelled_.count(heap_.top().id)) {
+            cancelled_.erase(heap_.top().id);
+            heap_.pop();
+        }
+        if (heap_.empty() || heap_.top().when > until)
+            break;
+        if (runOne())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace conduit

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The queue orders events by (tick, priority, sequence). Sequence
+ * numbers make execution deterministic: two events scheduled for the
+ * same tick and priority always fire in scheduling order, so repeated
+ * runs of the same workload produce bit-identical results.
+ */
+
+#ifndef CONDUIT_SIM_EVENT_QUEUE_HH
+#define CONDUIT_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace conduit
+{
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Callbacks may schedule further events (including for the current
+ * tick). Scheduling in the past is a programming error and throws.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback invoked when the event fires.
+     * @param priority Lower values fire first within the same tick.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(Tick when, Callback cb, int priority = 0);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    EventId
+    scheduleAfter(Tick delay, Callback cb, int priority = 0)
+    {
+        return schedule(now_ + delay, std::move(cb), priority);
+    }
+
+    /**
+     * Cancel a pending event.
+     * @retval true if the event was pending and is now cancelled.
+     * @retval false if it already fired, was cancelled, or never existed.
+     */
+    bool cancel(EventId id);
+
+    /**
+     * Fire the earliest pending event.
+     * @retval true if an event fired, false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or simulated time would
+     * exceed @p until.
+     * @return Number of events fired.
+     */
+    std::uint64_t run(Tick until = kMaxTick);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+    /** True if no live events remain. */
+    bool empty() const { return pending() == 0; }
+
+    /** Total events fired since construction. */
+    std::uint64_t eventsFired() const { return fired_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.id > b.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> cancelled_;
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t fired_ = 0;
+};
+
+} // namespace conduit
+
+#endif // CONDUIT_SIM_EVENT_QUEUE_HH

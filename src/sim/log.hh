@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal leveled logging for simulator diagnostics.
+ *
+ * Logging is off by default so benches stay quiet; tests and debug
+ * sessions raise the level. Messages go to stderr to keep bench table
+ * output on stdout clean.
+ */
+
+#ifndef CONDUIT_SIM_LOG_HH
+#define CONDUIT_SIM_LOG_HH
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace conduit
+{
+
+enum class LogLevel { None = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global log-level holder. */
+class Log
+{
+  public:
+    static LogLevel &level()
+    {
+        static LogLevel lvl = LogLevel::Warn;
+        return lvl;
+    }
+
+    static bool
+    enabled(LogLevel lvl)
+    {
+        return static_cast<int>(lvl) <= static_cast<int>(level());
+    }
+
+    static void
+    write(LogLevel lvl, const std::string &tag, const std::string &msg)
+    {
+        if (!enabled(lvl))
+            return;
+        std::cerr << "[" << tag << "] " << msg << "\n";
+    }
+};
+
+} // namespace conduit
+
+#define CONDUIT_LOG(lvl, tag, expr)                                      \
+    do {                                                                  \
+        if (::conduit::Log::enabled(lvl)) {                               \
+            std::ostringstream os__;                                      \
+            os__ << expr;                                                 \
+            ::conduit::Log::write(lvl, tag, os__.str());                  \
+        }                                                                 \
+    } while (0)
+
+#define CONDUIT_WARN(tag, expr)                                           \
+    CONDUIT_LOG(::conduit::LogLevel::Warn, tag, expr)
+#define CONDUIT_INFO(tag, expr)                                           \
+    CONDUIT_LOG(::conduit::LogLevel::Info, tag, expr)
+#define CONDUIT_DEBUG(tag, expr)                                          \
+    CONDUIT_LOG(::conduit::LogLevel::Debug, tag, expr)
+
+#endif // CONDUIT_SIM_LOG_HH

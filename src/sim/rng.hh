@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Workload generators and allocation policies use this instead of
+ * std::mt19937 so that results are reproducible across standard
+ * library implementations (the C++ standard fixes mersenne-twister
+ * output but not distribution outputs).
+ */
+
+#ifndef CONDUIT_SIM_RNG_HH
+#define CONDUIT_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace conduit
+{
+
+/**
+ * xoshiro256** generator seeded via splitmix64.
+ *
+ * Fast, high-quality, and fully specified here, so every platform
+ * produces the same stream for the same seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5DEECE66DULL) { reseed(seed); }
+
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 expansion of the seed into the 256-bit state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Debiased multiply-shift (Lemire).
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace conduit
+
+#endif // CONDUIT_SIM_RNG_HH

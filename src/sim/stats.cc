@@ -1,0 +1,45 @@
+#include "src/sim/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace conduit
+{
+
+double
+Histogram::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        cache_ = samples_;
+        std::sort(cache_.begin(), cache_.end());
+        sorted_ = true;
+    }
+    if (p <= 0.0)
+        return cache_.front();
+    if (p >= 100.0)
+        return cache_.back();
+    // Nearest-rank: smallest value with at least ceil(p/100 * N)
+    // samples at or below it.
+    const auto n = static_cast<double>(cache_.size());
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    if (rank == 0)
+        rank = 1;
+    return cache_[rank - 1];
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, c] : counters_)
+        os << name << " " << c.value() << "\n";
+    for (const auto &[name, h] : hists_) {
+        os << name << ".count " << h.count() << "\n";
+        os << name << ".mean " << h.mean() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace conduit

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Statistics collection: counters, means, and full-sample histograms.
+ *
+ * Tail-latency experiments (Fig. 8 of the paper) need exact 99th and
+ * 99.99th percentiles, so Histogram keeps every sample. Workloads in
+ * this repository produce at most a few hundred thousand samples, so
+ * the memory cost is negligible compared to quantile fidelity.
+ */
+
+#ifndef CONDUIT_SIM_STATS_HH
+#define CONDUIT_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace conduit
+{
+
+/** A monotonically growing named counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Exact-quantile histogram over double-valued samples.
+ *
+ * Samples are stored verbatim; quantiles use the nearest-rank method
+ * on a lazily sorted copy.
+ */
+class Histogram
+{
+  public:
+    void
+    add(double sample)
+    {
+        samples_.push_back(sample);
+        sorted_ = false;
+    }
+
+    std::size_t count() const { return samples_.size(); }
+
+    double
+    sum() const
+    {
+        double s = 0.0;
+        for (double v : samples_)
+            s += v;
+        return s;
+    }
+
+    double
+    mean() const
+    {
+        return samples_.empty() ? 0.0 : sum() / samples_.size();
+    }
+
+    double
+    min() const
+    {
+        return samples_.empty()
+            ? 0.0
+            : *std::min_element(samples_.begin(), samples_.end());
+    }
+
+    double
+    max() const
+    {
+        return samples_.empty()
+            ? 0.0
+            : *std::max_element(samples_.begin(), samples_.end());
+    }
+
+    /**
+     * Nearest-rank percentile.
+     * @param p Percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    void
+    clear()
+    {
+        samples_.clear();
+        cache_.clear();
+        sorted_ = false;
+    }
+
+  private:
+    std::vector<double> samples_;
+    mutable std::vector<double> cache_;
+    mutable bool sorted_ = false;
+};
+
+/**
+ * A registry of named counters/histograms for a simulation run.
+ *
+ * Components look up their stats by dotted path (e.g.
+ * "nand.reads", "conduit.instr_latency"). Lookup creates on demand.
+ */
+class StatSet
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Histogram &histogram(const std::string &name) { return hists_[name]; }
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return hists_;
+    }
+
+    /** Render all counters as "name value" lines (for debugging). */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> hists_;
+};
+
+} // namespace conduit
+
+#endif // CONDUIT_SIM_STATS_HH

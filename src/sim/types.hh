@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fundamental simulation types and time units.
+ *
+ * The simulator counts time in integer picoseconds. A picosecond base
+ * unit lets us represent both sub-nanosecond controller-core cycles
+ * (0.667 ns at 1.5 GHz) and millisecond-scale NAND erase operations in
+ * the same 64-bit tick without rounding. 2^64 ps is roughly 213 days
+ * of simulated time, far beyond any experiment in this repository.
+ */
+
+#ifndef CONDUIT_SIM_TYPES_HH
+#define CONDUIT_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace conduit
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "never" / unscheduled. */
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+constexpr Tick kPsPerNs = 1000;
+constexpr Tick kPsPerUs = 1000 * kPsPerNs;
+constexpr Tick kPsPerMs = 1000 * kPsPerUs;
+constexpr Tick kPsPerS = 1000 * kPsPerMs;
+
+/** Convert a duration in nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kPsPerNs));
+}
+
+/** Convert a duration in microseconds to ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kPsPerUs));
+}
+
+/** Convert a duration in milliseconds to ticks. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kPsPerMs));
+}
+
+/** Convert ticks to (floating point) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kPsPerNs);
+}
+
+/** Convert ticks to (floating point) microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kPsPerUs);
+}
+
+/** Convert ticks to (floating point) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kPsPerS);
+}
+
+/**
+ * Time needed to move @p bytes over a link of @p bytes_per_sec,
+ * rounded up to a whole tick.
+ */
+constexpr Tick
+transferTicks(std::uint64_t bytes, double bytes_per_sec)
+{
+    if (bytes == 0 || bytes_per_sec <= 0.0)
+        return 0;
+    const double seconds = static_cast<double>(bytes) / bytes_per_sec;
+    return static_cast<Tick>(seconds * static_cast<double>(kPsPerS)) + 1;
+}
+
+} // namespace conduit
+
+#endif // CONDUIT_SIM_TYPES_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Workload generators (§5.4, Table 3).
+ *
+ * Each generator expresses one of the paper's six data-intensive
+ * applications as a loop program over INT8-quantized arrays (SSD
+ * compute resources lack native floating point, §5.4). Kernels are
+ * written so that, after auto-vectorization, the instruction stream
+ * matches the workload's Table 3 characteristics: vectorizable code
+ * fraction, operand reuse, and the low/medium/high-latency operation
+ * mix. Dataset sizes are scaled so benches finish in seconds; ratios
+ * that drive offloading behaviour (reuse, mix, dependence structure)
+ * are preserved.
+ *
+ * Three extra kernels back the Fig. 4 case study: an I/O-intensive
+ * bitmap scan, a compute-intensive encryption/GEMM blend, and a
+ * mixed aggregation kernel.
+ */
+
+#ifndef CONDUIT_WORKLOADS_WORKLOADS_HH
+#define CONDUIT_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "src/ir/loop_ir.hh"
+
+namespace conduit
+{
+
+/** The six evaluated applications. */
+enum class WorkloadId
+{
+    Aes,
+    XorFilter,
+    Heat3d,
+    Jacobi1d,
+    LlamaInference,
+    LlmTraining,
+};
+
+/** Fig. 4 case-study categories. */
+enum class CaseStudyClass
+{
+    IoIntensive,
+    ComputeIntensive,
+    Mixed,
+};
+
+/** Generator knobs. */
+struct WorkloadParams
+{
+    /** Linear dataset-size multiplier (1.0 = default bench scale). */
+    double scale = 1.0;
+};
+
+/** All six workloads in presentation order. */
+std::vector<WorkloadId> allWorkloads();
+
+/** Display name matching the paper's figures. */
+std::string workloadName(WorkloadId id);
+
+/** Build the loop program for a workload. */
+LoopProgram buildWorkload(WorkloadId id, const WorkloadParams &p = {});
+
+/** Build a Fig. 4 case-study kernel. */
+LoopProgram buildCaseStudy(CaseStudyClass c, const WorkloadParams &p = {});
+
+std::string caseStudyName(CaseStudyClass c);
+
+} // namespace conduit
+
+#endif // CONDUIT_WORKLOADS_WORKLOADS_HH

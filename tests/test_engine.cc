@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Integration tests for the Conduit runtime engine: dispatch and
+ * dependence ordering, coherence (owner/dirty/version), latch
+ * management, fault handling, Ideal mode, and result accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.hh"
+
+namespace conduit
+{
+namespace
+{
+
+SsdConfig
+testCfg()
+{
+    return SsdConfig::scaled(1.0 / 256.0);
+}
+
+/**
+ * Hand-build a tiny program over disjoint page-sized vectors; with
+ * @p serial, instruction i depends on i-1 (pure ordering edges).
+ */
+Program
+chainProgram(std::size_t n, OpCode op = OpCode::Add,
+             bool serial = true)
+{
+    Program prog;
+    prog.name = "chain";
+    prog.pageBytes = 4096;
+    for (std::size_t i = 0; i < n; ++i) {
+        VecInstruction vi;
+        vi.id = i;
+        vi.op = op;
+        vi.elemBits = 8;
+        vi.lanes = 16384;
+        vi.srcs = {Operand{12 * i, 4}, Operand{12 * i + 4, 4}};
+        vi.dst = Operand{12 * i + 8, 4};
+        if (serial && i > 0)
+            vi.deps = {i - 1};
+        prog.instrs.push_back(vi);
+    }
+    prog.footprintPages = 12 * n + 4;
+    return prog;
+}
+
+TEST(Engine, RunsAndProducesMonotoneChainCompletions)
+{
+    Engine eng(testCfg());
+    ConduitPolicy pol;
+    EngineOptions opts;
+    opts.recordTimeline = true;
+    auto r = eng.run(chainProgram(16), pol, opts);
+    EXPECT_EQ(r.instrCount, 16u);
+    EXPECT_GT(r.execTime, 0u);
+    ASSERT_EQ(r.completionTrace.size(), 16u);
+    // Serial RAW chain: completions strictly increase.
+    for (std::size_t i = 1; i < r.completionTrace.size(); ++i)
+        EXPECT_GT(r.completionTrace[i], r.completionTrace[i - 1]);
+}
+
+TEST(Engine, IndependentInstructionsOverlap)
+{
+    Engine s(testCfg()), p(testCfg());
+    ConduitPolicy pol;
+    auto serial = s.run(chainProgram(24, OpCode::Add, true), pol);
+    auto parallel = p.run(chainProgram(24, OpCode::Add, false), pol);
+    // Removing the dependence chain shortens execution.
+    EXPECT_LT(parallel.execTime, serial.execTime);
+}
+
+TEST(Engine, PerResourceCountsCoverAllInstructions)
+{
+    Engine eng(testCfg());
+    ConduitPolicy pol;
+    auto r = eng.run(chainProgram(20), pol);
+    EXPECT_EQ(r.perResource[0] + r.perResource[1] + r.perResource[2],
+              r.instrCount);
+}
+
+TEST(Engine, ScalarInstructionsRunOnIsp)
+{
+    Program prog = chainProgram(6);
+    for (auto &vi : prog.instrs)
+        vi.vectorized = false;
+    Engine eng(testCfg());
+    ConduitPolicy pol;
+    auto r = eng.run(prog, pol);
+    EXPECT_EQ(r.perResource[static_cast<int>(Target::Isp)],
+              prog.instrs.size());
+}
+
+TEST(Engine, UnsupportedOpsNeverReachNarrowSubstrates)
+{
+    Program prog = chainProgram(8, OpCode::Gather);
+    Engine eng(testCfg());
+    ConduitPolicy pol;
+    auto r = eng.run(prog, pol);
+    // Gather is ISP-only.
+    EXPECT_EQ(r.perResource[static_cast<int>(Target::Isp)], 8u);
+}
+
+TEST(Engine, FootprintBeyondCapacityRejected)
+{
+    SsdConfig cfg = testCfg();
+    Engine eng(cfg);
+    Program prog = chainProgram(2);
+    prog.footprintPages = cfg.nand.totalPages() * 2;
+    ConduitPolicy pol;
+    EXPECT_THROW(eng.run(prog, pol), std::invalid_argument);
+}
+
+TEST(Engine, IdealModeSkipsOverheadAndMovement)
+{
+    Program prog = chainProgram(32);
+    Engine a(testCfg()), b(testCfg());
+    ConduitPolicy conduit;
+    IdealPolicy ideal;
+    auto real = a.run(prog, conduit);
+    auto id = b.run(prog, ideal);
+    EXPECT_LT(id.execTime, real.execTime);
+    EXPECT_EQ(id.offloaderBusy, 0u);
+    EXPECT_EQ(id.internalDmBusy, 0u);
+    EXPECT_EQ(id.flashReadBusy, 0u);
+    EXPECT_EQ(id.dmEnergyJ, 0.0);
+    EXPECT_GT(id.computeEnergyJ, 0.0);
+}
+
+TEST(Engine, FaultInjectionReplaysAndStillCompletes)
+{
+    Program prog = chainProgram(64);
+    Engine eng(testCfg());
+    ConduitPolicy pol;
+    EngineOptions opts;
+    opts.transientFaultRate = 0.25;
+    auto r = eng.run(prog, pol, opts);
+    EXPECT_GT(r.faultsInjected, 0u);
+    EXPECT_EQ(r.replays, r.faultsInjected);
+    EXPECT_EQ(r.latencyUs.count(), prog.instrs.size());
+    // Replays lengthen execution versus a fault-free run.
+    Engine clean(testCfg());
+    auto c = clean.run(prog, pol);
+    EXPECT_GT(r.execTime, c.execTime);
+}
+
+TEST(Engine, FaultFreeRunInjectsNothing)
+{
+    Engine eng(testCfg());
+    ConduitPolicy pol;
+    auto r = eng.run(chainProgram(32), pol);
+    EXPECT_EQ(r.faultsInjected, 0u);
+    EXPECT_EQ(r.replays, 0u);
+}
+
+TEST(Engine, VersionCounterFlushesBeforeWrap)
+{
+    // One page rewritten far more times than the flush threshold.
+    Program prog;
+    prog.name = "rewrite";
+    prog.footprintPages = 16;
+    const std::size_t writes = 40;
+    for (std::size_t i = 0; i < writes; ++i) {
+        VecInstruction vi;
+        vi.id = i;
+        vi.op = OpCode::Add;
+        vi.elemBits = 8;
+        vi.lanes = 4096;
+        vi.srcs = {Operand{0, 1}};
+        vi.dst = Operand{1, 1};
+        if (i > 0)
+            vi.deps = {i - 1};
+        prog.instrs.push_back(vi);
+    }
+    Engine eng(testCfg());
+    ConduitPolicy pol;
+    EngineOptions opts;
+    opts.versionFlushThreshold = 8;
+    auto r = eng.run(prog, pol, opts);
+    // 40 writes with threshold 8 force several coherence commits.
+    EXPECT_GE(r.coherenceCommits, writes / 8 - 1);
+}
+
+TEST(Engine, LatchPressureForcesEvictions)
+{
+    // Bitwise chain writing many distinct pages through IFP.
+    Program prog;
+    prog.name = "latchstorm";
+    const std::size_t n = 96;
+    prog.footprintPages = 4 * n + 8;
+    for (std::size_t i = 0; i < n; ++i) {
+        VecInstruction vi;
+        vi.id = i;
+        vi.op = OpCode::Xor;
+        vi.elemBits = 8;
+        vi.lanes = 16384;
+        vi.srcs = {Operand{0, 4}, Operand{4, 4}};
+        vi.dst = Operand{8 + 4 * i, 4};
+        prog.instrs.push_back(vi);
+    }
+    SsdConfig cfg = testCfg();
+    // Tiny device: few dies, so latch capacity is scarce.
+    cfg.nand.channels = 1;
+    cfg.nand.diesPerChannel = 2;
+    Engine eng(cfg);
+    AresFlashPolicy pol; // everything to IFP
+    EngineOptions opts;
+    opts.latchPagesPerDie = 2;
+    auto r = eng.run(prog, pol, opts);
+    EXPECT_GT(r.latchEvictions, 0u);
+    EXPECT_GE(r.coherenceCommits, r.latchEvictions);
+}
+
+TEST(Engine, DrainChargesHostTransfer)
+{
+    Program prog = chainProgram(8);
+    Engine a(testCfg()), b(testCfg());
+    ConduitPolicy pol;
+    EngineOptions with, without;
+    without.drainResults = false;
+    auto rw = a.run(prog, pol, with);
+    auto ro = b.run(prog, pol, without);
+    EXPECT_GT(rw.hostDmBusy, 0u);
+    EXPECT_EQ(ro.hostDmBusy, 0u);
+    EXPECT_GE(rw.execTime, ro.execTime);
+}
+
+TEST(Engine, FeatureVectorMatchesSubstrateSupport)
+{
+    Engine eng(testCfg());
+    Program prog = chainProgram(1, OpCode::Mul);
+    ConduitPolicy pol;
+    eng.run(prog, pol); // prepare state
+    VecInstruction vi = prog.instrs[0];
+    // A fresh engine is required for feature probing mid-state; use
+    // the same one (pages already preloaded).
+    CostFeatures f = eng.features(vi, 0);
+    EXPECT_TRUE(f.supported[static_cast<int>(Target::Isp)]);
+    EXPECT_TRUE(f.supported[static_cast<int>(Target::Pud)]);
+    EXPECT_TRUE(f.supported[static_cast<int>(Target::Ifp)]);
+    EXPECT_GT(f.comp[static_cast<int>(Target::Pud)], 0u);
+    EXPECT_LT(f.comp[static_cast<int>(Target::Pud)], kMaxTick);
+}
+
+TEST(Engine, DeterministicAcrossIdenticalRuns)
+{
+    Program prog = chainProgram(40);
+    Engine a(testCfg()), b(testCfg());
+    ConduitPolicy p1, p2;
+    auto r1 = a.run(prog, p1);
+    auto r2 = b.run(prog, p2);
+    EXPECT_EQ(r1.execTime, r2.execTime);
+    EXPECT_EQ(r1.perResource, r2.perResource);
+    EXPECT_DOUBLE_EQ(r1.energyJ(), r2.energyJ());
+}
+
+TEST(Engine, LatencyHistogramCoversEveryInstruction)
+{
+    Program prog = chainProgram(25);
+    Engine eng(testCfg());
+    DmOffloadPolicy pol;
+    auto r = eng.run(prog, pol);
+    EXPECT_EQ(r.latencyUs.count(), 25u);
+    EXPECT_GT(r.latencyUs.min(), 0.0);
+    EXPECT_GE(r.latencyUs.percentile(99.99), r.latencyUs.percentile(99));
+}
+
+/** Every policy completes the same program (parameterized). */
+class EveryPolicy : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EveryPolicy, CompletesMixedProgram)
+{
+    Program prog;
+    prog.name = "mixed";
+    const OpCode ops[] = {OpCode::Xor, OpCode::Add, OpCode::Mul,
+                          OpCode::Select, OpCode::Copy, OpCode::Gather};
+    std::size_t id = 0;
+    for (OpCode op : ops) {
+        for (int i = 0; i < 4; ++i) {
+            VecInstruction vi;
+            vi.id = id++;
+            vi.op = op;
+            vi.elemBits = 8;
+            vi.lanes = 16384;
+            vi.srcs = {Operand{0, 4}, Operand{4, 4}};
+            vi.dst = Operand{8 + 4 * (id % 8), 4};
+            vi.vectorized = op != OpCode::Gather;
+            prog.instrs.push_back(vi);
+        }
+    }
+    prog.footprintPages = 48;
+    Engine eng(testCfg());
+    auto pol = makePolicy(GetParam());
+    auto r = eng.run(prog, *pol);
+    EXPECT_EQ(r.instrCount, prog.instrs.size());
+    EXPECT_GT(r.execTime, 0u);
+    EXPECT_GT(r.energyJ(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EveryPolicy,
+    ::testing::Values("Conduit", "DM-Offloading", "BW-Offloading",
+                      "Ideal", "ISP", "PuD-SSD", "Flash-Cosmos",
+                      "Ares-Flash"));
+
+} // namespace
+} // namespace conduit

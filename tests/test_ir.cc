@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the IR layer: opcode property tables, operand
+ * arithmetic, instruction printing, and loop-program helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/ir/instruction.hh"
+#include "src/ir/loop_ir.hh"
+#include "src/ir/opcode.hh"
+
+namespace conduit
+{
+namespace
+{
+
+TEST(Opcode, LatencyClassesMatchTable3Taxonomy)
+{
+    EXPECT_EQ(latencyClass(OpCode::And), LatencyClass::Low);
+    EXPECT_EQ(latencyClass(OpCode::Xor), LatencyClass::Low);
+    EXPECT_EQ(latencyClass(OpCode::ShiftL), LatencyClass::Low);
+    EXPECT_EQ(latencyClass(OpCode::Add), LatencyClass::Medium);
+    EXPECT_EQ(latencyClass(OpCode::Select), LatencyClass::Medium);
+    EXPECT_EQ(latencyClass(OpCode::Mul), LatencyClass::High);
+    EXPECT_EQ(latencyClass(OpCode::Exp), LatencyClass::High);
+    EXPECT_EQ(latencyClass(OpCode::Gather), LatencyClass::High);
+}
+
+TEST(Opcode, SupportMatricesAreConsistent)
+{
+    int pud = 0, ifp = 0;
+    for (std::size_t i = 0; i < kNumOpCodes; ++i) {
+        const auto op = static_cast<OpCode>(i);
+        // ISP is the universal fallback.
+        EXPECT_TRUE(ispSupports(op));
+        pud += pudSupports(op);
+        ifp += ifpSupports(op);
+        // MWS array-operand ops are a subset of IFP support.
+        if (ifpRequiresArrayOperands(op))
+            EXPECT_TRUE(ifpSupports(op));
+    }
+    // PuD-SSD supports a wider set than IFP (16+ vs 9+ ops, §4.3.2).
+    EXPECT_GT(pud, ifp);
+    EXPECT_GE(ifp, 9);
+}
+
+TEST(Opcode, EveryOpHasANameAndFamily)
+{
+    for (std::size_t i = 0; i < kNumOpCodes; ++i) {
+        const auto op = static_cast<OpCode>(i);
+        EXPECT_NE(opName(op), "invalid");
+        // opFamily is total (no throw, returns some family).
+        (void)opFamily(op);
+    }
+}
+
+TEST(Operand, OverlapAndContainment)
+{
+    Operand a{10, 4}; // pages [10, 14)
+    Operand b{13, 2}; // pages [13, 15)
+    Operand c{14, 1};
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_TRUE(b.overlaps(a));
+    EXPECT_FALSE(a.overlaps(c));
+    EXPECT_TRUE(a.contains(10));
+    EXPECT_TRUE(a.contains(13));
+    EXPECT_FALSE(a.contains(14));
+}
+
+TEST(VecInstruction, ByteAccounting)
+{
+    VecInstruction vi;
+    vi.lanes = 16384;
+    vi.elemBits = 8;
+    vi.srcs.resize(3);
+    vi.dst = {0, 4};
+    EXPECT_EQ(vi.srcBytes(), 3u * 16384u);
+    EXPECT_EQ(vi.dstBytes(), 16384u);
+    vi.elemBits = 32;
+    EXPECT_EQ(vi.dstBytes(), 65536u);
+    vi.dst.pageCount = 0;
+    EXPECT_EQ(vi.dstBytes(), 0u);
+}
+
+TEST(VecInstruction, ToStringRoundsUpTheFacts)
+{
+    VecInstruction vi;
+    vi.id = 7;
+    vi.op = OpCode::Mac;
+    vi.lanes = 4096;
+    vi.elemBits = 8;
+    vi.srcs = {Operand{3, 2}};
+    vi.dst = Operand{9, 1};
+    vi.deps = {4, 5};
+    vi.vectorized = false;
+    const std::string s = vi.toString();
+    EXPECT_NE(s.find("#7"), std::string::npos);
+    EXPECT_NE(s.find("mac"), std::string::npos);
+    EXPECT_NE(s.find("p3+2"), std::string::npos);
+    EXPECT_NE(s.find("-> p9+1"), std::string::npos);
+    EXPECT_NE(s.find("[scalar]"), std::string::npos);
+    EXPECT_NE(s.find("deps{4,5}"), std::string::npos);
+}
+
+TEST(LoopProgram, ArrayAccountingAndBytes)
+{
+    LoopProgram lp;
+    const ArrayId a = lp.addArray("a", 1000, 8);
+    const ArrayId b = lp.addArray("b", 1000, 32);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(lp.arrays[a].bytes(), 1000u);
+    EXPECT_EQ(lp.arrays[b].bytes(), 4000u);
+    EXPECT_EQ(lp.totalBytes(), 5000u);
+}
+
+TEST(Program, FootprintBytes)
+{
+    Program p;
+    p.footprintPages = 10;
+    p.pageBytes = 4096;
+    EXPECT_EQ(p.footprintBytes(), 40960u);
+}
+
+} // namespace
+} // namespace conduit

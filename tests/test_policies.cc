@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the offloading policies: the Conduit cost function
+ * (Eqn. 1/2), the prior-work baselines, and the factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/offload/policy.hh"
+
+namespace conduit
+{
+namespace
+{
+
+VecInstruction
+vecInstr(OpCode op, bool vectorized = true)
+{
+    VecInstruction vi;
+    vi.op = op;
+    vi.lanes = 4096;
+    vi.vectorized = vectorized;
+    vi.srcs.resize(2);
+    return vi;
+}
+
+CostFeatures
+baseFeatures()
+{
+    CostFeatures f;
+    f.supported = {true, true, true};
+    f.comp = {usToTicks(10), usToTicks(10), usToTicks(10)};
+    return f;
+}
+
+TEST(CostFeatures, Equation1Arithmetic)
+{
+    CostFeatures f;
+    f.comp[0] = 100;
+    f.dm[0] = 50;
+    f.queue[0] = 30;
+    f.depDelay = 80;
+    // comp + dm + max(dep, queue) = 100 + 50 + 80.
+    EXPECT_EQ(f.totalLatency(Target::Isp), 230u);
+    f.queue[0] = 200;
+    EXPECT_EQ(f.totalLatency(Target::Isp), 350u);
+}
+
+TEST(ConduitPolicy, PicksArgminOfTotalLatency)
+{
+    ConduitPolicy p;
+    auto f = baseFeatures();
+    f.comp = {usToTicks(30), usToTicks(5), usToTicks(50)};
+    EXPECT_EQ(p.select(vecInstr(OpCode::Add), f), Target::Pud);
+    // A large PuD queueing delay flips the decision.
+    f.queue[static_cast<int>(Target::Pud)] = usToTicks(100);
+    EXPECT_EQ(p.select(vecInstr(OpCode::Add), f), Target::Isp);
+}
+
+TEST(ConduitPolicy, DataMovementShiftsChoice)
+{
+    ConduitPolicy p;
+    auto f = baseFeatures();
+    f.comp = {usToTicks(12), usToTicks(10), usToTicks(11)};
+    f.dm = {usToTicks(0), usToTicks(50), usToTicks(0)};
+    EXPECT_EQ(p.select(vecInstr(OpCode::Add), f), Target::Ifp);
+}
+
+TEST(ConduitPolicy, DependenceDelayOverlapsQueueDelay)
+{
+    ConduitPolicy p;
+    auto f = baseFeatures();
+    // Queue delays differ, but a dominating dependence delay masks
+    // them (max(dep, queue)); choice falls back to compute latency.
+    f.comp = {usToTicks(9), usToTicks(10), usToTicks(11)};
+    f.queue = {usToTicks(40), usToTicks(1), usToTicks(1)};
+    f.depDelay = usToTicks(500);
+    EXPECT_EQ(p.select(vecInstr(OpCode::Add), f), Target::Isp);
+}
+
+TEST(ConduitPolicy, SkipsUnsupportedResources)
+{
+    ConduitPolicy p;
+    auto f = baseFeatures();
+    f.comp = {usToTicks(100), usToTicks(1), usToTicks(1)};
+    f.supported = {true, false, false};
+    EXPECT_EQ(p.select(vecInstr(OpCode::Shuffle), f), Target::Isp);
+}
+
+TEST(ConduitPolicy, ScalarCodeForcedToIsp)
+{
+    ConduitPolicy p;
+    auto f = baseFeatures();
+    f.comp = {usToTicks(100), usToTicks(1), usToTicks(1)};
+    EXPECT_EQ(p.select(vecInstr(OpCode::Add, false), f), Target::Isp);
+}
+
+TEST(ConduitPolicy, AblationsDropFeatures)
+{
+    auto f = baseFeatures();
+    f.comp = {usToTicks(10), usToTicks(9), usToTicks(50)};
+    f.queue = {0, usToTicks(100), 0};
+    // Full Conduit avoids the congested PuD.
+    EXPECT_EQ(ConduitPolicy().select(vecInstr(OpCode::Add), f),
+              Target::Isp);
+    // Without queue awareness it walks into the congestion.
+    ConduitPolicy::Ablation ab;
+    ab.useQueueDelay = false;
+    EXPECT_EQ(ConduitPolicy(ab).select(vecInstr(OpCode::Add), f),
+              Target::Pud);
+    EXPECT_EQ(ConduitPolicy(ab).name(), "Conduit-noQueue");
+}
+
+TEST(DmPolicy, MinimizesBytesPrefersIfpOnTies)
+{
+    DmOffloadPolicy p;
+    auto f = baseFeatures();
+    f.dmBytes = {4096, 0, 0}; // PuD and IFP tie at zero
+    EXPECT_EQ(p.select(vecInstr(OpCode::Add), f), Target::Ifp);
+    f.dmBytes = {0, 0, 4096};
+    EXPECT_EQ(p.select(vecInstr(OpCode::Add), f), Target::Pud);
+}
+
+TEST(DmPolicy, IgnoresQueueDelays)
+{
+    DmOffloadPolicy p;
+    auto f = baseFeatures();
+    f.dmBytes = {4096, 4096, 0};
+    f.queue = {0, 0, usToTicks(10000)}; // IFP badly congested
+    // DM-Offloading cannot see the congestion (its flaw, §3.2).
+    EXPECT_EQ(p.select(vecInstr(OpCode::Add), f), Target::Ifp);
+}
+
+TEST(BwPolicy, PicksLowestUtilization)
+{
+    BwOffloadPolicy p;
+    auto f = baseFeatures();
+    f.bwUtil = {0.9, 0.2, 0.5};
+    EXPECT_EQ(p.select(vecInstr(OpCode::Add), f), Target::Pud);
+    f.bwUtil = {5.0, 7.0, 3.0}; // beyond saturation still compares
+    EXPECT_EQ(p.select(vecInstr(OpCode::Add), f), Target::Ifp);
+}
+
+TEST(IdealPolicy, PicksLowestComputeAndFlagsIdeal)
+{
+    IdealPolicy p;
+    auto f = baseFeatures();
+    f.comp = {usToTicks(3), usToTicks(2), usToTicks(1)};
+    f.dm = {0, 0, usToTicks(1000)};   // ignored
+    f.queue = {0, 0, usToTicks(1000)}; // ignored
+    EXPECT_EQ(p.select(vecInstr(OpCode::Add), f), Target::Ifp);
+    EXPECT_TRUE(p.ideal());
+    EXPECT_FALSE(ConduitPolicy().ideal());
+}
+
+TEST(StaticPolicies, RespectSubstrateCapabilities)
+{
+    auto f = baseFeatures();
+    f.supported = {true, pudSupports(OpCode::Shuffle),
+                   ifpSupports(OpCode::Shuffle)};
+    EXPECT_EQ(IspOnlyPolicy().select(vecInstr(OpCode::Add), f),
+              Target::Isp);
+    // Shuffle is PuD/IFP-unsupported: falls back to the core.
+    EXPECT_EQ(PudOnlyPolicy().select(vecInstr(OpCode::Shuffle), f),
+              Target::Isp);
+    EXPECT_EQ(AresFlashPolicy().select(vecInstr(OpCode::Shuffle), f),
+              Target::Isp);
+
+    auto f2 = baseFeatures();
+    EXPECT_EQ(PudOnlyPolicy().select(vecInstr(OpCode::Mul), f2),
+              Target::Pud);
+    EXPECT_EQ(AresFlashPolicy().select(vecInstr(OpCode::Mul), f2),
+              Target::Ifp);
+    // Flash-Cosmos offloads bulk-bitwise only; arithmetic goes to
+    // the controller core.
+    EXPECT_EQ(FlashCosmosPolicy().select(vecInstr(OpCode::And), f2),
+              Target::Ifp);
+    EXPECT_EQ(FlashCosmosPolicy().select(vecInstr(OpCode::Add), f2),
+              Target::Isp);
+}
+
+TEST(PolicyFactory, BuildsEveryEvaluatedTechnique)
+{
+    for (const char *name :
+         {"Conduit", "DM-Offloading", "BW-Offloading", "Ideal", "ISP",
+          "PuD-SSD", "Flash-Cosmos", "Ares-Flash"}) {
+        auto p = makePolicy(name);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->name(), name);
+    }
+    EXPECT_THROW(makePolicy("nonsense"), std::invalid_argument);
+}
+
+TEST(Targets, NamesStable)
+{
+    EXPECT_EQ(targetName(Target::Isp), "ISP");
+    EXPECT_EQ(targetName(Target::Pud), "PuD-SSD");
+    EXPECT_EQ(targetName(Target::Ifp), "IFP");
+}
+
+} // namespace
+} // namespace conduit

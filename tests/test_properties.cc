@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Randomized property tests: invariants that must hold for any
+ * traffic pattern — FCFS calendars never overlap, event queues never
+ * reorder time, randomly generated programs always complete with
+ * consistent accounting, and policy choices always respect substrate
+ * capabilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/engine.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/rng.hh"
+#include "src/sim/server.hh"
+
+namespace conduit
+{
+namespace
+{
+
+class RandomSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomSeeds, ServerIntervalsNeverOverlapAndFcfsHolds)
+{
+    Rng rng(GetParam());
+    Server s("prop");
+    Tick prev_start = 0;
+    Tick prev_end = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Tick earliest = rng.below(1000000);
+        const Tick duration = 1 + rng.below(5000);
+        auto iv = s.acquire(earliest, duration);
+        // Service starts no earlier than requested...
+        ASSERT_GE(iv.start, earliest);
+        // ...lasts exactly the requested duration...
+        ASSERT_EQ(iv.end - iv.start, duration);
+        // ...and never overlaps or reorders prior grants (FCFS).
+        ASSERT_GE(iv.start, prev_end);
+        ASSERT_GE(iv.start, prev_start);
+        prev_start = iv.start;
+        prev_end = iv.end;
+    }
+    // Busy time equals the sum of durations (no lost work).
+    ASSERT_EQ(s.requests(), 2000u);
+}
+
+TEST_P(RandomSeeds, ServerGroupConservesWork)
+{
+    Rng rng(GetParam());
+    ServerGroup g("prop", 1 + rng.below(8));
+    Tick total = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const Tick d = 1 + rng.below(1000);
+        total += d;
+        g.acquire(rng.below(100000), d);
+    }
+    ASSERT_EQ(g.busyTime(), total);
+}
+
+TEST_P(RandomSeeds, EventQueueNeverTravelsBack)
+{
+    Rng rng(GetParam());
+    EventQueue q;
+    Tick last = 0;
+    bool ok = true;
+    int fired = 0;
+    for (int i = 0; i < 500; ++i) {
+        q.schedule(rng.below(100000), [&] {
+            ok = ok && q.now() >= last;
+            last = q.now();
+            ++fired;
+            // Occasionally chain a future event.
+            if (fired % 7 == 0)
+                q.schedule(q.now() + 1 + (fired % 13), [&] {
+                    ok = ok && q.now() >= last;
+                    last = q.now();
+                });
+        });
+    }
+    q.run();
+    EXPECT_TRUE(ok);
+    EXPECT_TRUE(q.empty());
+}
+
+/** Build a random but well-formed program. */
+Program
+randomProgram(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    const OpCode ops[] = {OpCode::And,    OpCode::Xor,  OpCode::Add,
+                          OpCode::Sub,    OpCode::Mul,  OpCode::Select,
+                          OpCode::Copy,   OpCode::Min,  OpCode::CmpLt,
+                          OpCode::Gather, OpCode::Shuffle};
+    Program prog;
+    prog.name = "random";
+    const std::uint64_t region = 64;
+    prog.footprintPages = region * 8;
+    for (std::size_t i = 0; i < n; ++i) {
+        VecInstruction vi;
+        vi.id = i;
+        vi.op = ops[rng.below(std::size(ops))];
+        vi.elemBits = 8;
+        vi.lanes = 1024u << rng.below(5); // 1K..16K lanes
+        const auto nsrc = 1 + rng.below(2);
+        for (std::uint64_t s = 0; s < nsrc; ++s) {
+            vi.srcs.push_back(
+                Operand{rng.below(region * 7),
+                        1 + static_cast<std::uint32_t>(rng.below(4))});
+        }
+        vi.dst = Operand{region * 7 + rng.below(region - 4),
+                         1 + static_cast<std::uint32_t>(rng.below(4))};
+        vi.vectorized = rng.uniform() > 0.15;
+        // Random back-edges to earlier instructions.
+        if (i > 0 && rng.chance(0.5))
+            vi.deps.push_back(rng.below(i));
+        prog.instrs.push_back(vi);
+    }
+    return prog;
+}
+
+TEST_P(RandomSeeds, RandomProgramsCompleteWithConsistentAccounting)
+{
+    const Program prog = randomProgram(GetParam(), 120);
+    Engine eng(SsdConfig::scaled(1.0 / 256.0));
+    ConduitPolicy pol;
+    EngineOptions opts;
+    opts.recordTimeline = true;
+    auto r = eng.run(prog, pol, opts);
+
+    // Everything executed exactly once, somewhere.
+    ASSERT_EQ(r.instrCount, prog.instrs.size());
+    ASSERT_EQ(r.perResource[0] + r.perResource[1] + r.perResource[2],
+              r.instrCount);
+    ASSERT_EQ(r.latencyUs.count(), prog.instrs.size());
+    ASSERT_EQ(r.completionTrace.size(), prog.instrs.size());
+
+    // Dependence ordering: a consumer never completes before its
+    // producers.
+    for (const auto &vi : prog.instrs) {
+        for (InstrId d : vi.deps) {
+            ASSERT_GE(r.completionTrace[vi.id],
+                      r.completionTrace[d]);
+        }
+    }
+
+    // Execution time covers the last completion; energy is positive
+    // and split across the two buckets.
+    Tick last = 0;
+    for (Tick t : r.completionTrace)
+        last = std::max(last, t);
+    ASSERT_GE(r.execTime, last);
+    ASSERT_GT(r.energyJ(), 0.0);
+
+    // Scalar instructions only ever ran on the controller core.
+    for (std::size_t i = 0; i < prog.instrs.size(); ++i) {
+        if (!prog.instrs[i].vectorized) {
+            ASSERT_EQ(static_cast<Target>(r.resourceTrace[i]),
+                      Target::Isp);
+        }
+    }
+}
+
+TEST_P(RandomSeeds, PolicyChoicesAlwaysRespectCapabilities)
+{
+    const Program prog = randomProgram(GetParam() ^ 0xABCD, 80);
+    Engine eng(SsdConfig::scaled(1.0 / 256.0));
+    auto pol = makePolicy(GetParam() % 2 == 0 ? "Conduit"
+                                              : "DM-Offloading");
+    EngineOptions opts;
+    opts.recordTimeline = true;
+    auto r = eng.run(prog, *pol, opts);
+    for (std::size_t i = 0; i < prog.instrs.size(); ++i) {
+        const auto t = static_cast<Target>(r.resourceTrace[i]);
+        const OpCode op = prog.instrs[i].op;
+        if (t == Target::Pud)
+            ASSERT_TRUE(pudSupports(op)) << opName(op);
+        if (t == Target::Ifp)
+            ASSERT_TRUE(ifpSupports(op)) << opName(op);
+    }
+}
+
+TEST_P(RandomSeeds, FaultReplayPreservesOrderingInvariants)
+{
+    const Program prog = randomProgram(GetParam() ^ 0x5EED, 100);
+    Engine eng(SsdConfig::scaled(1.0 / 256.0));
+    ConduitPolicy pol;
+    EngineOptions opts;
+    opts.recordTimeline = true;
+    opts.transientFaultRate = 0.2;
+    auto r = eng.run(prog, pol, opts);
+    ASSERT_EQ(r.replays, r.faultsInjected);
+    for (const auto &vi : prog.instrs) {
+        for (InstrId d : vi.deps)
+            ASSERT_GE(r.completionTrace[vi.id], r.completionTrace[d]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSeeds,
+                         ::testing::Values(1, 7, 42, 1337, 0xDEAD,
+                                           99991, 2026, 31415));
+
+} // namespace
+} // namespace conduit

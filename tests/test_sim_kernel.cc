@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering and
+ * cancellation, tick conversions, statistics, servers, and the RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.hh"
+#include "src/sim/rng.hh"
+#include "src/sim/server.hh"
+#include "src/sim/stats.hh"
+#include "src/sim/types.hh"
+
+namespace conduit
+{
+namespace
+{
+
+TEST(Types, Conversions)
+{
+    EXPECT_EQ(nsToTicks(1), kPsPerNs);
+    EXPECT_EQ(usToTicks(1), kPsPerUs);
+    EXPECT_EQ(msToTicks(1), kPsPerMs);
+    EXPECT_DOUBLE_EQ(ticksToNs(kPsPerNs), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToUs(kPsPerUs), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kPsPerS), 1.0);
+    EXPECT_EQ(nsToTicks(22.5), 22500u);
+}
+
+TEST(Types, TransferTicks)
+{
+    // 1 GB/s: 1 byte = 1 ns (+1 tick rounding).
+    EXPECT_NEAR(static_cast<double>(transferTicks(4096, 1e9)),
+                4096.0 * kPsPerNs, 2.0);
+    EXPECT_EQ(transferTicks(0, 1e9), 0u);
+    EXPECT_EQ(transferTicks(100, 0.0), 0u);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoWithinPriority)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); }, 1);
+    q.schedule(5, [&] { order.push_back(2); }, 1);
+    q.schedule(5, [&] { order.push_back(0); }, 0);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue q;
+    int fired = 0;
+    EventId id = q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id)); // double-cancel is a no-op
+    q.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CallbackCanScheduleMore)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1, [&] {
+        ++count;
+        q.schedule(q.now() + 1, [&] { ++count; });
+    });
+    q.run();
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 2u);
+}
+
+TEST(EventQueue, SchedulingInPastThrows)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runOne();
+    EXPECT_THROW(q.schedule(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, RunUntilBound)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+    EXPECT_EQ(q.run(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(Server, FcfsQueueing)
+{
+    Server s("t");
+    auto a = s.acquire(0, 10);
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_EQ(a.end, 10u);
+    // Second request queues behind the first.
+    auto b = s.acquire(0, 5);
+    EXPECT_EQ(b.start, 10u);
+    EXPECT_EQ(b.end, 15u);
+    EXPECT_EQ(b.queueDelay(0), 10u);
+    // A request in the future starts on time.
+    auto c = s.acquire(100, 5);
+    EXPECT_EQ(c.start, 100u);
+    EXPECT_EQ(s.backlog(50), 55u);
+    EXPECT_EQ(s.busyTime(), 20u);
+}
+
+TEST(ServerGroup, LeastLoadedDispatch)
+{
+    ServerGroup g("g", 2);
+    auto a = g.acquire(0, 10);
+    auto b = g.acquire(0, 10);
+    // Both units busy until 10; third request queues on one.
+    auto c = g.acquire(0, 10);
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_EQ(b.start, 0u);
+    EXPECT_EQ(c.start, 10u);
+    EXPECT_EQ(g.busyTime(), 30u);
+}
+
+TEST(Histogram, ExactPercentiles)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.add(i);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, TailPercentileOfSkewedData)
+{
+    Histogram h;
+    for (int i = 0; i < 9999; ++i)
+        h.add(1.0);
+    h.add(1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.995), 1000.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(StatSet, CountersAndDump)
+{
+    StatSet s;
+    s.counter("a.b").inc();
+    s.counter("a.b").inc(4);
+    EXPECT_EQ(s.counter("a.b").value(), 5u);
+    s.histogram("h").add(2.0);
+    const std::string d = s.dump();
+    EXPECT_NE(d.find("a.b 5"), std::string::npos);
+}
+
+} // namespace
+} // namespace conduit

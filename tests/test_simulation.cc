@@ -1,0 +1,207 @@
+/**
+ * @file
+ * End-to-end tests through the Simulation facade: the headline
+ * orderings the paper reports must hold on the simulated system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/simulation.hh"
+
+namespace conduit
+{
+namespace
+{
+
+SimOptions
+fastOptions()
+{
+    SimOptions so;
+    so.workload.scale = 0.25;
+    return so;
+}
+
+TEST(Simulation, CompileCachesPrograms)
+{
+    Simulation sim(fastOptions());
+    const auto &a = sim.compile(WorkloadId::Aes);
+    const auto &b = sim.compile(WorkloadId::Aes);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Simulation, EveryPolicyRunsEveryWorkload)
+{
+    Simulation sim(fastOptions());
+    for (WorkloadId id :
+         {WorkloadId::Aes, WorkloadId::Jacobi1d}) {
+        for (const char *pol :
+             {"Conduit", "DM-Offloading", "BW-Offloading", "Ideal",
+              "ISP", "PuD-SSD", "Flash-Cosmos", "Ares-Flash"}) {
+            auto r = sim.run(id, pol);
+            EXPECT_GT(r.execTime, 0u) << pol;
+            EXPECT_GT(r.energyJ(), 0.0) << pol;
+            EXPECT_EQ(r.policy, pol);
+        }
+        auto cpu = sim.runHost(id, false);
+        auto gpu = sim.runHost(id, true);
+        EXPECT_GT(cpu.execTime, 0u);
+        EXPECT_GT(gpu.execTime, 0u);
+    }
+}
+
+TEST(Simulation, IdealUpperBoundsAllRealizablePolicies)
+{
+    Simulation sim(fastOptions());
+    for (WorkloadId id : allWorkloads()) {
+        const Tick ideal = sim.run(id, "Ideal").execTime;
+        for (const char *pol :
+             {"Conduit", "DM-Offloading", "BW-Offloading", "ISP"}) {
+            EXPECT_LE(ideal, sim.run(id, pol).execTime)
+                << workloadName(id) << " " << pol;
+        }
+    }
+}
+
+TEST(Simulation, ConduitBeatsPriorOffloadingOnAverage)
+{
+    Simulation sim(fastOptions());
+    double log_dm = 0.0, log_bw = 0.0, log_isp = 0.0;
+    int n = 0;
+    for (WorkloadId id : allWorkloads()) {
+        const double conduit =
+            static_cast<double>(sim.run(id, "Conduit").execTime);
+        log_dm += std::log(
+            static_cast<double>(sim.run(id, "DM-Offloading").execTime) /
+            conduit);
+        log_bw += std::log(
+            static_cast<double>(sim.run(id, "BW-Offloading").execTime) /
+            conduit);
+        log_isp += std::log(
+            static_cast<double>(sim.run(id, "ISP").execTime) / conduit);
+        ++n;
+    }
+    // Geometric-mean slowdowns of the baselines vs Conduit (Fig. 7a:
+    // paper reports 1.8x vs DM, 2.0x vs BW, 3.3x vs ISP).
+    EXPECT_GT(std::exp(log_dm / n), 1.2);
+    EXPECT_GT(std::exp(log_bw / n), 1.2);
+    EXPECT_GT(std::exp(log_isp / n), 1.5);
+}
+
+TEST(Simulation, ConduitBeatsHostCpuOnAverage)
+{
+    Simulation sim(fastOptions());
+    double acc = 0.0;
+    int n = 0;
+    for (WorkloadId id : allWorkloads()) {
+        const double cpu =
+            static_cast<double>(sim.runHost(id, false).execTime);
+        const double conduit =
+            static_cast<double>(sim.run(id, "Conduit").execTime);
+        acc += std::log(cpu / conduit);
+        ++n;
+    }
+    // Fig. 7a: 4.2x average speedup over CPU; require a clear win.
+    EXPECT_GT(std::exp(acc / n), 2.0);
+}
+
+TEST(Simulation, ConduitReducesEnergyVsHost)
+{
+    Simulation sim(fastOptions());
+    double acc = 0.0;
+    int n = 0;
+    for (WorkloadId id : allWorkloads()) {
+        const double cpu = sim.runHost(id, false).energyJ();
+        const double conduit = sim.run(id, "Conduit").energyJ();
+        acc += std::log(cpu / conduit);
+        ++n;
+    }
+    // Fig. 7b: 78.2% average energy reduction vs CPU.
+    EXPECT_GT(std::exp(acc / n), 2.0);
+}
+
+TEST(Simulation, DmOffloadingOverusesIfpOnComputeWork)
+{
+    // §6.4: DM-Offloading pins arithmetic to flash; Conduit spreads.
+    Simulation sim(fastOptions());
+    auto dm = sim.run(WorkloadId::LlmTraining, "DM-Offloading");
+    auto conduit = sim.run(WorkloadId::LlmTraining, "Conduit");
+    const auto ifp = static_cast<int>(Target::Ifp);
+    EXPECT_GT(dm.perResource[ifp] * 2,
+              dm.instrCount); // DM sends the majority to IFP
+    EXPECT_LT(conduit.perResource[ifp], dm.perResource[ifp]);
+    EXPECT_LT(conduit.execTime, dm.execTime);
+}
+
+TEST(Simulation, LlamaAvoidsIfpMultiplication)
+{
+    // Fig. 9: Conduit and Ideal avoid IFP for LlaMA2's multiplies.
+    Simulation sim(fastOptions());
+    auto conduit = sim.run(WorkloadId::LlamaInference, "Conduit");
+    auto ideal = sim.run(WorkloadId::LlamaInference, "Ideal");
+    const auto ifp = static_cast<int>(Target::Ifp);
+    EXPECT_LT(static_cast<double>(conduit.perResource[ifp]),
+              0.10 * static_cast<double>(conduit.instrCount));
+    EXPECT_LT(static_cast<double>(ideal.perResource[ifp]),
+              0.10 * static_cast<double>(ideal.instrCount));
+}
+
+TEST(Simulation, MemoryBoundWorkloadsBarelyUseIsp)
+{
+    // Fig. 9: AES/XOR Filter offload well under a few percent of
+    // vector instructions to the controller core.
+    Simulation sim(fastOptions());
+    auto aes = sim.run(WorkloadId::Aes, "Conduit");
+    const auto isp = static_cast<int>(Target::Isp);
+    EXPECT_LT(static_cast<double>(aes.perResource[isp]),
+              0.10 * static_cast<double>(aes.instrCount));
+}
+
+TEST(Simulation, ConduitTailLatencyBeatsBwOffloading)
+{
+    // Fig. 8 shape: contention-aware offloading shortens the tail.
+    Simulation sim(fastOptions());
+    auto conduit = sim.run(WorkloadId::LlamaInference, "Conduit");
+    auto bw = sim.run(WorkloadId::LlamaInference, "BW-Offloading");
+    EXPECT_LT(conduit.latencyUs.percentile(99),
+              bw.latencyUs.percentile(99));
+    EXPECT_LT(conduit.latencyUs.percentile(99.99),
+              bw.latencyUs.percentile(99.99));
+}
+
+TEST(Simulation, RunsAreReproducible)
+{
+    Simulation a(fastOptions()), b(fastOptions());
+    auto r1 = a.run(WorkloadId::Heat3d, "Conduit");
+    auto r2 = b.run(WorkloadId::Heat3d, "Conduit");
+    EXPECT_EQ(r1.execTime, r2.execTime);
+    EXPECT_EQ(r1.perResource, r2.perResource);
+}
+
+TEST(Simulation, CustomPolicyObjectsWork)
+{
+    // Public-API extensibility: user-defined policy (always-PuD with
+    // ISP fallback) plugs into the same run path.
+    class MyPolicy : public OffloadPolicy
+    {
+      public:
+        Target
+        select(const VecInstruction &vi, const CostFeatures &f) override
+        {
+            if (!vi.vectorized ||
+                !f.supported[static_cast<int>(Target::Pud)])
+                return Target::Isp;
+            return Target::Pud;
+        }
+        std::string name() const override { return "my-policy"; }
+    };
+    Simulation sim(fastOptions());
+    MyPolicy pol;
+    auto r = sim.run(WorkloadId::Jacobi1d, pol);
+    EXPECT_EQ(r.policy, "my-policy");
+    EXPECT_GT(r.execTime, 0u);
+}
+
+} // namespace
+} // namespace conduit

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the instruction transformation unit, the host
+ * CPU/GPU baselines, and energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/transformer.hh"
+#include "src/energy/energy_model.hh"
+#include "src/host/host_model.hh"
+
+namespace conduit
+{
+namespace
+{
+
+VecInstruction
+vecInstr(OpCode op, std::uint32_t lanes = 16384,
+         std::uint16_t bits = 8)
+{
+    VecInstruction vi;
+    vi.op = op;
+    vi.lanes = lanes;
+    vi.elemBits = bits;
+    vi.srcs.resize(2);
+    return vi;
+}
+
+TEST(Transformer, NativeWidthsPerResource)
+{
+    InstructionTransformer tx(4096, 8192, 32);
+    EXPECT_EQ(tx.nativeLanes(Target::Ifp, 8), 4096u);
+    EXPECT_EQ(tx.nativeLanes(Target::Pud, 8), 8192u);
+    EXPECT_EQ(tx.nativeLanes(Target::Isp, 8), 32u);
+    EXPECT_EQ(tx.nativeLanes(Target::Isp, 32), 8u);
+}
+
+TEST(Transformer, VectorWidthAdaptationSplitsSubOps)
+{
+    InstructionTransformer tx(4096, 8192, 32);
+    // A 16384-lane INT8 vector maps to 4 page-wide IFP sub-ops,
+    // 2 row-wide PuD sub-ops, and 512 MVE issues (§4.3.2).
+    auto ifp = tx.transform(vecInstr(OpCode::Add), Target::Ifp);
+    EXPECT_EQ(ifp.subOps, 4u);
+    auto pud = tx.transform(vecInstr(OpCode::Add), Target::Pud);
+    EXPECT_EQ(pud.subOps, 2u);
+    auto isp = tx.transform(vecInstr(OpCode::Add), Target::Isp);
+    EXPECT_EQ(isp.subOps, 512u);
+}
+
+TEST(Transformer, MnemonicsMatchSubstrateIsas)
+{
+    InstructionTransformer tx(4096, 8192, 32);
+    EXPECT_EQ(tx.transform(vecInstr(OpCode::Xor), Target::Isp).mnemonic,
+              "veor");
+    EXPECT_EQ(tx.transform(vecInstr(OpCode::Xor), Target::Pud).mnemonic,
+              "bbop_xor");
+    EXPECT_EQ(tx.transform(vecInstr(OpCode::And), Target::Ifp).mnemonic,
+              "mws_and");
+    EXPECT_EQ(tx.transform(vecInstr(OpCode::Mul), Target::Ifp).mnemonic,
+              "shift_and_add.mul");
+    EXPECT_EQ(tx.transform(vecInstr(OpCode::Copy), Target::Pud).mnemonic,
+              "rowclone_aap");
+    EXPECT_EQ(
+        tx.transform(vecInstr(OpCode::Select), Target::Isp).mnemonic,
+        "vpsel");
+}
+
+TEST(Transformer, TableFitsReportedBudget)
+{
+    // §4.5: the translation table consumes ~1.5 KiB of SSD DRAM.
+    EXPECT_LE(InstructionTransformer::tableBytes(), 2048u);
+    EXPECT_GE(InstructionTransformer::tableBytes(), 1024u);
+}
+
+Program
+hostProgram(OpCode op, std::size_t n, bool indirect = false)
+{
+    Program prog;
+    prog.name = "host";
+    prog.pageBytes = 4096;
+    for (std::size_t i = 0; i < n; ++i) {
+        VecInstruction vi;
+        vi.id = i;
+        vi.op = op;
+        vi.elemBits = 8;
+        vi.lanes = 16384;
+        vi.srcs = {Operand{(i * 4) % 512, 4}, Operand{512, 4}};
+        vi.dst = Operand{520 + (i * 4) % 256, 4};
+        vi.indirect = indirect;
+        prog.instrs.push_back(vi);
+    }
+    prog.footprintPages = 800;
+    return prog;
+}
+
+TEST(HostModel, GpuFasterOnComputeHeavyWork)
+{
+    SsdConfig cfg;
+    HostModel cpu(cfg, HostModel::Kind::Cpu);
+    HostModel gpu(cfg, HostModel::Kind::Gpu);
+    auto prog = hostProgram(OpCode::Mul, 200);
+    auto rc = cpu.run(prog);
+    auto rg = gpu.run(prog);
+    EXPECT_LT(rg.totalTime, rc.totalTime);
+    EXPECT_LT(rg.computeTime, rc.computeTime);
+}
+
+TEST(HostModel, TransfersReflectCacheMisses)
+{
+    SsdConfig cfg;
+    HostModel cpu(cfg, HostModel::Kind::Cpu);
+    auto prog = hostProgram(OpCode::Add, 100);
+    auto r = cpu.run(prog);
+    EXPECT_GT(r.pcieBytes, 0u);
+    EXPECT_GT(r.transferTime, 0u);
+    EXPECT_GT(r.dmEnergyJ, 0.0);
+    EXPECT_GT(r.computeEnergyJ, 0.0);
+}
+
+TEST(HostModel, IndirectGatherCostsMore)
+{
+    SsdConfig cfg;
+    HostModel cpu(cfg, HostModel::Kind::Cpu);
+    auto seq = cpu.run(hostProgram(OpCode::Add, 100, false));
+    auto gat = cpu.run(hostProgram(OpCode::Add, 100, true));
+    EXPECT_GT(gat.pcieBytes, seq.pcieBytes);
+    EXPECT_GT(gat.totalTime, seq.totalTime);
+}
+
+TEST(HostModel, ComputeAndTransferOverlap)
+{
+    SsdConfig cfg;
+    HostModel cpu(cfg, HostModel::Kind::Cpu);
+    auto r = cpu.run(hostProgram(OpCode::Mul, 50));
+    EXPECT_LE(r.totalTime,
+              r.computeTime + r.transferTime + usToTicks(10));
+    EXPECT_GE(r.totalTime, std::max(r.computeTime, r.transferTime));
+}
+
+TEST(EnergyModel, BucketsSeparateDmFromCompute)
+{
+    EnergyConfig e;
+    EnergyModel m(e);
+    m.flashRead(2);
+    m.dma(1);
+    m.channelTransfer(4096);
+    EXPECT_GT(m.dataMovementJ(), 0.0);
+    EXPECT_DOUBLE_EQ(m.computeJ(), 0.0);
+    m.pudOp(100);
+    m.ispBusy(usToTicks(10));
+    m.ifpOp(OpCode::Xor, 4096);
+    m.ifpSense(1);
+    EXPECT_GT(m.computeJ(), 0.0);
+    const double dm = m.dataMovementJ();
+    const double comp = m.computeJ();
+    EXPECT_DOUBLE_EQ(m.totalJ(), dm + comp);
+    m.reset();
+    EXPECT_DOUBLE_EQ(m.totalJ(), 0.0);
+}
+
+TEST(EnergyModel, TableTwoConstantsApplied)
+{
+    EnergyConfig e;
+    EnergyModel m(e);
+    m.flashRead(1);
+    EXPECT_DOUBLE_EQ(m.dataMovementJ(), e.readJPerChannel);
+    m.reset();
+    m.pudOp(1);
+    EXPECT_DOUBLE_EQ(m.computeJ(), e.bbopJ);
+    m.reset();
+    // XOR is twice the AND/OR per-KB energy (Table 2).
+    m.ifpOp(OpCode::Xor, 1024);
+    const double xor_j = m.computeJ();
+    m.reset();
+    m.ifpOp(OpCode::And, 1024);
+    EXPECT_NEAR(xor_j, 2.0 * m.computeJ(), 1e-15);
+}
+
+} // namespace
+} // namespace conduit

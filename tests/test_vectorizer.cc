@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Unit tests for the compile-time auto-vectorization stage:
+ * legality analysis, strip-mining, dependence wiring, if-conversion,
+ * reductions, and the Table 3 characterization metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/vectorizer/vectorizer.hh"
+
+namespace conduit
+{
+namespace
+{
+
+VectorizeOptions
+smallOpts()
+{
+    VectorizeOptions o;
+    o.vectorLanes = 4096;
+    o.pageBytes = 4096;
+    return o;
+}
+
+LoopProgram
+simpleProgram(std::uint64_t n)
+{
+    LoopProgram lp;
+    lp.name = "simple";
+    const ArrayId a = lp.addArray("a", n);
+    const ArrayId b = lp.addArray("b", n);
+    const ArrayId c = lp.addArray("c", n);
+    Loop loop;
+    loop.label = "l0";
+    loop.tripCount = n;
+    loop.body.push_back({OpCode::Add, {{a, 0, 1}, {b, 0, 1}},
+                         {c, 0, 1}});
+    lp.loops.push_back(loop);
+    return lp;
+}
+
+TEST(Vectorizer, StripMinesToVectorWidth)
+{
+    Vectorizer v(smallOpts());
+    auto vp = v.run(simpleProgram(4096 * 3));
+    ASSERT_EQ(vp.program.instrs.size(), 3u);
+    for (const auto &vi : vp.program.instrs) {
+        EXPECT_EQ(vi.lanes, 4096u);
+        EXPECT_TRUE(vi.vectorized);
+        EXPECT_EQ(vi.op, OpCode::Add);
+        EXPECT_EQ(vi.srcs.size(), 2u);
+    }
+}
+
+TEST(Vectorizer, TailChunkGetsResidualLanes)
+{
+    Vectorizer v(smallOpts());
+    auto vp = v.run(simpleProgram(4096 + 100));
+    ASSERT_EQ(vp.program.instrs.size(), 2u);
+    EXPECT_EQ(vp.program.instrs[0].lanes, 4096u);
+    EXPECT_EQ(vp.program.instrs[1].lanes, 100u);
+}
+
+TEST(Vectorizer, CarriedDependencePreventsVectorization)
+{
+    LoopProgram lp = simpleProgram(4096);
+    lp.loops[0].carriedDependence = true;
+    Vectorizer v(smallOpts());
+    auto vp = v.run(lp);
+    ASSERT_EQ(vp.program.instrs.size(), 1u);
+    EXPECT_FALSE(vp.program.instrs[0].vectorized);
+    EXPECT_EQ(vp.report.vectorInstrs, 0u);
+    EXPECT_EQ(vp.report.scalarInstrs, 1u);
+    // The -Rpass-style remark names the cause.
+    bool found = false;
+    for (const auto &r : vp.report.remarks)
+        found |= r.find("loop-carried") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(Vectorizer, MultipleExitsAndAtomicsPreventVectorization)
+{
+    for (int mode = 0; mode < 2; ++mode) {
+        LoopProgram lp = simpleProgram(4096);
+        if (mode == 0)
+            lp.loops[0].multipleExits = true;
+        else
+            lp.loops[0].atomics = true;
+        auto vp = Vectorizer(smallOpts()).run(lp);
+        EXPECT_FALSE(vp.program.instrs[0].vectorized);
+    }
+}
+
+TEST(Vectorizer, IndirectStatementStaysScalarOthersVectorize)
+{
+    LoopProgram lp = simpleProgram(4096);
+    // Second statement gathers through a data-dependent index.
+    lp.loops[0].body.push_back(
+        {OpCode::Add, {{0, 0, 1, true}, {1, 0, 1}}, {2, 0, 1}});
+    auto vp = Vectorizer(smallOpts()).run(lp);
+    ASSERT_EQ(vp.program.instrs.size(), 2u);
+    EXPECT_TRUE(vp.program.instrs[0].vectorized);
+    EXPECT_FALSE(vp.program.instrs[1].vectorized);
+    EXPECT_TRUE(vp.program.instrs[1].indirect);
+    EXPECT_DOUBLE_EQ(vp.report.vectorizableFraction, 0.5);
+}
+
+TEST(Vectorizer, RawDependencesWired)
+{
+    LoopProgram lp;
+    const ArrayId a = lp.addArray("a", 4096);
+    const ArrayId b = lp.addArray("b", 4096);
+    Loop loop;
+    loop.tripCount = 4096;
+    loop.body.push_back({OpCode::Add, {{a, 0, 1}, {a, 0, 1}},
+                         {b, 0, 1}});
+    loop.body.push_back({OpCode::Mul, {{b, 0, 1}, {a, 0, 1}},
+                         {b, 0, 1}});
+    lp.loops.push_back(loop);
+    auto vp = Vectorizer(smallOpts()).run(lp);
+    ASSERT_EQ(vp.program.instrs.size(), 2u);
+    // The multiply reads b, produced by the add (RAW).
+    const auto &mul = vp.program.instrs[1];
+    ASSERT_EQ(mul.deps.size(), 1u);
+    EXPECT_EQ(mul.deps[0], vp.program.instrs[0].id);
+}
+
+TEST(Vectorizer, WawOrderingRecorded)
+{
+    LoopProgram lp;
+    const ArrayId a = lp.addArray("a", 4096);
+    const ArrayId b = lp.addArray("b", 4096);
+    Loop loop;
+    loop.tripCount = 4096;
+    loop.body.push_back({OpCode::Add, {{a, 0, 1}}, {b, 0, 1}});
+    loop.body.push_back({OpCode::Sub, {{a, 0, 1}}, {b, 0, 1}});
+    lp.loops.push_back(loop);
+    auto vp = Vectorizer(smallOpts()).run(lp);
+    // Second write to b must order after the first (WAW).
+    EXPECT_EQ(vp.program.instrs[1].deps.size(), 1u);
+}
+
+TEST(Vectorizer, IfConversionEmitsComparePlusSelect)
+{
+    LoopProgram lp = simpleProgram(4096);
+    lp.loops[0].body[0].conditional = true;
+    auto vp = Vectorizer(smallOpts()).run(lp);
+    // cmp + op + select, all vectorized.
+    ASSERT_EQ(vp.program.instrs.size(), 3u);
+    EXPECT_EQ(vp.program.instrs[0].op, OpCode::CmpLt);
+    EXPECT_EQ(vp.program.instrs[1].op, OpCode::Add);
+    EXPECT_EQ(vp.program.instrs[2].op, OpCode::Select);
+    for (const auto &vi : vp.program.instrs)
+        EXPECT_TRUE(vi.vectorized);
+    // The select depends on both mask and value producers.
+    EXPECT_GE(vp.program.instrs[2].deps.size(), 2u);
+}
+
+TEST(Vectorizer, ReductionBuildsPartialsAndCombineTree)
+{
+    LoopProgram lp;
+    const ArrayId a = lp.addArray("a", 4096 * 8);
+    const ArrayId s = lp.addArray("sum", 16);
+    Loop loop;
+    loop.tripCount = 4096 * 8;
+    LoopStmt red{OpCode::Add, {{a, 0, 1}}, {s, 0, 1}};
+    red.reduction = true;
+    loop.body.push_back(red);
+    lp.loops.push_back(loop);
+    VectorizeOptions o = smallOpts();
+    o.reductionPartials = 4;
+    auto vp = Vectorizer(o).run(lp);
+    // 8 chunk accumulations + 3 tree combines + 1 final fold.
+    ASSERT_EQ(vp.program.instrs.size(), 12u);
+    // The final fold is the only scalar step.
+    EXPECT_FALSE(vp.program.instrs.back().vectorized);
+    std::size_t scalar = 0;
+    for (const auto &vi : vp.program.instrs)
+        scalar += vi.vectorized ? 0 : 1;
+    EXPECT_EQ(scalar, 1u);
+}
+
+TEST(Vectorizer, ReductionMulBecomesMac)
+{
+    LoopProgram lp;
+    const ArrayId a = lp.addArray("a", 4096);
+    const ArrayId s = lp.addArray("sum", 16);
+    Loop loop;
+    loop.tripCount = 4096;
+    LoopStmt red{OpCode::Mul, {{a, 0, 1}, {a, 0, 1}}, {s, 0, 1}};
+    red.reduction = true;
+    loop.body.push_back(red);
+    lp.loops.push_back(loop);
+    auto vp = Vectorizer(smallOpts()).run(lp);
+    EXPECT_EQ(vp.program.instrs.front().op, OpCode::Mac);
+}
+
+TEST(Vectorizer, SmallArrayRefsClampToBounds)
+{
+    // Regression: a 256-entry table referenced from chunk offsets far
+    // beyond its size must produce a 1-page operand, not an unsigned
+    // underflow.
+    LoopProgram lp;
+    const ArrayId big = lp.addArray("big", 4096 * 64);
+    const ArrayId lut = lp.addArray("lut", 256);
+    Loop loop;
+    loop.tripCount = 4096 * 64;
+    loop.body.push_back({OpCode::Xor, {{big, 0, 1}, {lut, 0, 0}},
+                         {big, 0, 1}});
+    lp.loops.push_back(loop);
+    auto vp = Vectorizer(smallOpts()).run(lp);
+    for (const auto &vi : vp.program.instrs) {
+        ASSERT_EQ(vi.srcs.size(), 2u);
+        EXPECT_EQ(vi.srcs[1].pageCount, 1u);
+    }
+}
+
+TEST(Vectorizer, BroadcastStrideZeroTouchesOnePage)
+{
+    LoopProgram lp = simpleProgram(4096 * 4);
+    lp.loops[0].body[0].srcs[1].stride = 0;
+    auto vp = Vectorizer(smallOpts()).run(lp);
+    for (const auto &vi : vp.program.instrs)
+        EXPECT_EQ(vi.srcs[1].pageCount, 1u);
+}
+
+TEST(Vectorizer, RepeatMultipliesDynamicWork)
+{
+    LoopProgram lp = simpleProgram(4096);
+    lp.loops[0].repeat = 5;
+    auto vp = Vectorizer(smallOpts()).run(lp);
+    EXPECT_EQ(vp.program.instrs.size(), 5u);
+    // Static code fraction counts the statement once.
+    EXPECT_DOUBLE_EQ(vp.report.vectorizableFraction, 1.0);
+}
+
+TEST(Vectorizer, OpMixFractionsSumToOne)
+{
+    LoopProgram lp = simpleProgram(4096 * 2);
+    lp.loops[0].body.push_back(
+        {OpCode::Xor, {{0, 0, 1}, {1, 0, 1}}, {2, 0, 1}});
+    lp.loops[0].body.push_back(
+        {OpCode::Mul, {{0, 0, 1}, {1, 0, 1}}, {2, 0, 1}});
+    auto vp = Vectorizer(smallOpts()).run(lp);
+    const auto &r = vp.report;
+    EXPECT_NEAR(r.lowFraction + r.medFraction + r.highFraction, 1.0,
+                1e-9);
+    EXPECT_NEAR(r.lowFraction, 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(r.highFraction, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Vectorizer, FootprintCoversAllArrays)
+{
+    LoopProgram lp = simpleProgram(4096 * 4);
+    auto vp = Vectorizer(smallOpts()).run(lp);
+    // Three 16 KiB arrays = 12 pages minimum.
+    EXPECT_GE(vp.program.footprintPages, 12u);
+    // Every operand stays within the footprint.
+    for (const auto &vi : vp.program.instrs) {
+        for (const auto &s : vi.srcs) {
+            EXPECT_LE(s.basePage + s.pageCount,
+                      vp.program.footprintPages);
+        }
+    }
+}
+
+TEST(Vectorizer, DeterministicAcrossRuns)
+{
+    LoopProgram lp = simpleProgram(4096 * 7);
+    auto a = Vectorizer(smallOpts()).run(lp);
+    auto b = Vectorizer(smallOpts()).run(lp);
+    ASSERT_EQ(a.program.instrs.size(), b.program.instrs.size());
+    for (std::size_t i = 0; i < a.program.instrs.size(); ++i) {
+        EXPECT_EQ(a.program.instrs[i].toString(),
+                  b.program.instrs[i].toString());
+    }
+}
+
+/** Property sweep: deps always reference earlier instructions. */
+class DepOrdering : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DepOrdering, ProducersPrecedeConsumers)
+{
+    LoopProgram lp = simpleProgram(GetParam());
+    lp.loops[0].repeat = 3;
+    lp.loops[0].body.push_back(
+        {OpCode::Mul, {{2, 0, 1}, {0, 0, 1}}, {1, 0, 1}});
+    auto vp = Vectorizer(smallOpts()).run(lp);
+    for (const auto &vi : vp.program.instrs) {
+        for (InstrId d : vi.deps)
+            ASSERT_LT(d, vi.id);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trips, DepOrdering,
+                         ::testing::Values(1, 100, 4096, 4097, 40960));
+
+} // namespace
+} // namespace conduit

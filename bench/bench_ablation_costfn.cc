@@ -3,7 +3,8 @@
  * Cost-function feature ablation (design-choice study, DESIGN.md):
  * drops one Eqn. 1 feature at a time — resource queueing delay, data
  * movement latency, data dependence delay — and measures the impact
- * on the workloads most sensitive to contention.
+ * on the workloads most sensitive to contention. The variant matrix
+ * runs as one parallel sweep with custom-policy columns.
  *
  * This quantifies why the *holistic* cost function matters (§6.1):
  * removing queue awareness degenerates toward DM-Offloading's
@@ -14,12 +15,12 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace conduit;
     using namespace conduit::bench;
 
-    Simulation sim;
+    const SweepCli cli = SweepCli::parse(argc, argv);
 
     struct Variant
     {
@@ -34,29 +35,41 @@ main()
         {"comp only", {false, false, false}},
     };
 
+    RunMatrix matrix;
+    matrix.workloads({WorkloadId::LlamaInference, WorkloadId::Heat3d,
+                      WorkloadId::LlmTraining, WorkloadId::Aes});
+    for (const auto &v : variants) {
+        const ConduitPolicy::Ablation ab = v.ab;
+        matrix.technique(v.label, [ab] {
+            return std::make_unique<ConduitPolicy>(ab);
+        });
+    }
+    cli.configure(matrix, variants[0].label);
+
+    SweepRunner runner(cli.runnerOptions());
+    const SweepResult sweep = runner.run(matrix.build());
+
     std::printf("Ablation: Conduit cost-function features "
                 "(execution time normalized to full Conduit)\n\n");
+    const auto columns = sweep.techniqueLabels();
     std::printf("%-18s", "workload");
-    for (const auto &v : variants)
-        std::printf(" %16s", v.label);
+    for (const auto &c : columns)
+        std::printf(" %16s", c.c_str());
     std::printf("\n");
 
-    for (WorkloadId id :
-         {WorkloadId::LlamaInference, WorkloadId::Heat3d,
-          WorkloadId::LlmTraining, WorkloadId::Aes}) {
-        double base = 0.0;
-        std::printf("%-18s", workloadName(id).c_str());
-        for (const auto &v : variants) {
-            ConduitPolicy policy(v.ab);
-            auto r = sim.run(id, policy);
-            const double t = static_cast<double>(r.execTime);
-            if (base == 0.0)
-                base = t;
+    for (const auto &w : sweep.workloadLabels()) {
+        const double base = static_cast<double>(
+            sweep.at(w, variants[0].label).execTime);
+        std::printf("%-18s", w.c_str());
+        for (const auto &c : columns) {
+            const double t =
+                static_cast<double>(sweep.at(w, c).execTime);
             std::printf(" %15.2fx", t / base);
         }
         std::printf("\n");
     }
     std::printf("\n(values > 1.0 mean the ablated variant is slower "
                 "than full Conduit)\n");
-    return 0;
+
+    return cli.finish(sweep);
 }

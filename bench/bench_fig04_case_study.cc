@@ -4,6 +4,8 @@
  * (host CPU), ISP, IFP, and naive IFP+ISP, normalized to OSP, for
  * three workload categories, with the stacked breakdown (compute,
  * host-SSD data movement, SSD-internal data movement, flash read).
+ * The 3 categories x 4 execution models run as one parallel sweep
+ * over custom-program rows.
  *
  * Paper shape: IFP wins the I/O-intensive category (~0.30 of OSP);
  * naively adding ISP to IFP *hurts* there (inter-resource movement);
@@ -47,55 +49,61 @@ toBar(const RunResult &r, double osp_time)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace conduit;
     using namespace conduit::bench;
 
-    Simulation sim;
-    const Vectorizer vec(
-        [&] {
-            VectorizeOptions vo;
-            vo.vectorLanes = sim.options().config.vectorLanes;
-            vo.pageBytes = sim.options().config.nand.pageBytes;
-            return vo;
-        }());
+    const SweepCli cli = SweepCli::parse(argc, argv);
+
+    // Compile the three case-study kernels once, up front, and hang
+    // them on the matrix as custom-program rows.
+    const SsdConfig cfg = runner::defaultSweepConfig();
+    VectorizeOptions vo;
+    vo.vectorLanes = cfg.vectorLanes;
+    vo.pageBytes = cfg.nand.pageBytes;
+    const Vectorizer vec(vo);
+
+    WorkloadParams params;
+    params.scale = cli.scale;
+
+    RunMatrix matrix;
+    for (CaseStudyClass c :
+         {CaseStudyClass::IoIntensive, CaseStudyClass::ComputeIntensive,
+          CaseStudyClass::Mixed}) {
+        auto vp = std::make_shared<const VectorizedProgram>(
+            vec.run(buildCaseStudy(c, params)));
+        matrix.program(
+            caseStudyName(c),
+            std::shared_ptr<const Program>(vp, &vp->program));
+    }
+    matrix.hostTechnique("OSP", /*gpu=*/false)
+        .technique("ISP")
+        .technique("IFP",
+                   [] { return makePolicy("Flash-Cosmos"); })
+        .technique("IFP+ISP",
+                   [] { return makePolicy("Ares-Flash"); });
+    cli.configure(matrix, "OSP");
+
+    SweepRunner runner(cli.runnerOptions());
+    const SweepResult sweep = runner.run(matrix.build());
 
     std::printf("Fig. 4: case study — execution models normalized to "
                 "OSP (lower is better)\n\n");
     std::printf("%-24s %-9s %7s %8s %8s %8s %8s\n", "category", "model",
                 "total", "compute", "hostDM", "intDM", "flashRd");
 
-    for (CaseStudyClass c :
-         {CaseStudyClass::IoIntensive, CaseStudyClass::ComputeIntensive,
-          CaseStudyClass::Mixed}) {
-        const LoopProgram lp = buildCaseStudy(c, sim.options().workload);
-        const VectorizedProgram vp = vec.run(lp);
-
-        const RunResult osp = sim.runHostProgram(vp.program, false);
-        const double osp_time = static_cast<double>(osp.execTime);
-
-        struct Model
-        {
-            const char *name;
-            const char *policy;
-        };
-        const Model models[] = {{"ISP", "ISP"},
-                                {"IFP", "Flash-Cosmos"},
-                                {"IFP+ISP", "Ares-Flash"}};
-
-        Bar osp_bar = toBar(osp, osp_time);
-        std::printf("%-24s %-9s %7.2f %8.2f %8.2f %8.2f %8.2f\n",
-                    caseStudyName(c).c_str(), "OSP", osp_bar.total,
-                    osp_bar.compute, osp_bar.host_dm,
-                    osp_bar.internal_dm, osp_bar.flash_read);
-        for (const auto &m : models) {
-            auto policy = makePolicy(m.policy);
-            const RunResult r = sim.runProgram(vp.program, *policy);
-            Bar bar = toBar(r, osp_time);
+    for (const auto &category : sweep.workloadLabels()) {
+        const double osp_time = static_cast<double>(
+            sweep.at(category, "OSP").execTime);
+        bool first = true;
+        for (const auto &model : sweep.techniqueLabels()) {
+            const Bar bar = toBar(sweep.at(category, model), osp_time);
             std::printf("%-24s %-9s %7.2f %8.2f %8.2f %8.2f %8.2f\n",
-                        "", m.name, bar.total, bar.compute, bar.host_dm,
+                        first ? category.c_str() : "", model.c_str(),
+                        bar.total, bar.compute, bar.host_dm,
                         bar.internal_dm, bar.flash_read);
+            first = false;
         }
         std::printf("\n");
     }
@@ -104,5 +112,6 @@ main()
                 "(IFP+ISP ~15%% worse than IFP there);\n"
                 "IFP+ISP best on compute-intensive (+28%% over IFP) "
                 "and mixed (+40%% over IFP).\n");
-    return 0;
+
+    return cli.finish(sweep);
 }

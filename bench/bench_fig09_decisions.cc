@@ -2,7 +2,8 @@
  * @file
  * Reproduces Fig. 9: the fraction of instructions offloaded to each
  * SSD computation resource (ISP, PuD-SSD, IFP) under BW-Offloading,
- * DM-Offloading, Conduit, and Ideal, for every workload.
+ * DM-Offloading, Conduit, and Ideal, for every workload, run as one
+ * parallel sweep.
  *
  * Paper shape: Conduit's distribution tracks Ideal's; memory-bound
  * workloads use ISP very sparingly (0.4%/0.6% on AES/XOR Filter);
@@ -13,26 +14,32 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace conduit;
     using namespace conduit::bench;
 
-    Simulation sim;
-    const char *policies[] = {"BW-Offloading", "DM-Offloading",
-                              "Conduit", "Ideal"};
+    const SweepCli cli = SweepCli::parse(argc, argv);
+    RunMatrix matrix;
+    matrix.workloads(allWorkloads())
+        .techniques(
+            {"BW-Offloading", "DM-Offloading", "Conduit", "Ideal"});
+    cli.configure(matrix);
+
+    SweepRunner runner(cli.runnerOptions());
+    const SweepResult sweep = runner.run(matrix.build());
 
     std::printf("Fig. 9: fraction of instructions per computation "
                 "resource\n\n");
     std::printf("%-18s %-16s %8s %8s %8s\n", "workload", "policy",
                 "ISP", "PuD-SSD", "IFP");
-    for (WorkloadId id : allWorkloads()) {
+    for (const auto &w : sweep.workloadLabels()) {
         bool first = true;
-        for (const char *p : policies) {
-            auto r = runTechnique(sim, id, p);
+        for (const auto &p : sweep.techniqueLabels()) {
+            const auto &r = sweep.at(w, p);
             const double n = static_cast<double>(r.instrCount);
             std::printf("%-18s %-16s %7.1f%% %7.1f%% %7.1f%%\n",
-                        first ? workloadName(id).c_str() : "", p,
+                        first ? w.c_str() : "", p.c_str(),
                         100.0 * r.perResource[0] / n,
                         100.0 * r.perResource[1] / n,
                         100.0 * r.perResource[2] / n);
@@ -40,5 +47,6 @@ main()
         }
         std::printf("\n");
     }
-    return 0;
+
+    return cli.finish(sweep);
 }

@@ -2,7 +2,8 @@
  * @file
  * Reproduces Fig. 10: the instruction-to-resource mapping over the
  * execution of LlaMA2 Inference under BW-Offloading, DM-Offloading
- * and Conduit, alongside the operation stream.
+ * and Conduit, alongside the operation stream, run as one parallel
+ * sweep with per-instruction tracing enabled.
  *
  * Rendered as a run-length-encoded strip per policy plus windowed
  * resource shares, exposing the paper's phases: BW-Offloading
@@ -53,34 +54,43 @@ printStrip(const RunResult &r, std::size_t buckets)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace conduit;
     using namespace conduit::bench;
 
-    SimOptions so;
-    so.engine.recordTimeline = true;
-    Simulation sim(so);
+    const SweepCli cli = SweepCli::parse(argc, argv);
+    EngineOptions eo;
+    eo.recordTimeline = true;
+    RunMatrix matrix;
+    matrix.engine(eo)
+        .workload(WorkloadId::LlamaInference)
+        .techniques({"BW-Offloading", "DM-Offloading", "Conduit"});
+    cli.configure(matrix);
+
+    SweepRunner runner(cli.runnerOptions());
+    const SweepResult sweep = runner.run(matrix.build());
 
     std::printf("Fig. 10: instruction-to-resource mapping, LlaMA2 "
                 "Inference\n");
     std::printf("legend: C = controller core (ISP), D = SSD DRAM "
                 "(PuD), F = flash (IFP)\n\n");
 
+    const std::string llama = workloadName(WorkloadId::LlamaInference);
+    const std::size_t buckets = 96;
+
     // Operation stream (one strip: dominant op class per bucket).
-    {
-        auto r = sim.run(WorkloadId::LlamaInference, "Conduit");
-        const std::size_t n = r.opTrace.size();
+    if (const RunResult *r = sweep.find(llama, "Conduit")) {
+        const std::size_t n = r->opTrace.size();
         std::printf("operations (a=add/sub, m=mul/mac, o=other), %zu "
                     "instructions:\n  ",
                     n);
-        const std::size_t buckets = 96;
         for (std::size_t b = 0; b < buckets; ++b) {
             const std::size_t lo = b * n / buckets;
             const std::size_t hi = (b + 1) * n / buckets;
             int add = 0, mul = 0, other = 0;
             for (std::size_t i = lo; i < hi && i < n; ++i) {
-                const auto op = static_cast<OpCode>(r.opTrace[i]);
+                const auto op = static_cast<OpCode>(r->opTrace[i]);
                 if (op == OpCode::Add || op == OpCode::Sub)
                     ++add;
                 else if (op == OpCode::Mul || op == OpCode::Mac)
@@ -95,11 +105,10 @@ main()
         std::printf("\n\n");
     }
 
-    for (const char *p :
-         {"BW-Offloading", "DM-Offloading", "Conduit"}) {
-        auto r = sim.run(WorkloadId::LlamaInference, p);
-        std::printf("%s:\n", p);
-        printStrip(r, 96);
+    for (const auto &p : sweep.techniqueLabels()) {
+        const RunResult &r = sweep.at(llama, p);
+        std::printf("%s:\n", p.c_str());
+        printStrip(r, buckets);
         // Switch count: how often consecutive instructions change
         // resource (BW-Offloading's thrash signature).
         std::size_t switches = 0;
@@ -108,5 +117,6 @@ main()
         std::printf("  resource switches: %zu of %zu instructions\n\n",
                     switches, r.resourceTrace.size());
     }
-    return 0;
+
+    return cli.finish(sweep);
 }

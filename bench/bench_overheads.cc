@@ -27,8 +27,9 @@ benchCfg()
 Program
 benchProgram()
 {
-    Simulation sim;
-    return sim.compile(WorkloadId::LlamaInference).program;
+    runner::ProgramCache cache;
+    return cache.get(WorkloadId::LlamaInference, {}, benchCfg())
+        ->program;
 }
 
 /** Host-side cost of evaluating the cost function (Eqn. 1/2). */

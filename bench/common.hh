@@ -1,23 +1,35 @@
 /**
  * @file
- * Shared helpers for the reproduction benches: each bench binary
- * regenerates one table or figure of the paper, printing the same
- * rows/series the paper reports (normalized to the CPU baseline).
+ * Shared definitions for the reproduction benches: the paper's
+ * technique orderings, re-exported from the sweep-runner subsystem
+ * that executes every bench's evaluation matrix.
+ *
+ * All formatting/emission helpers live in src/runner (sweep_result,
+ * sweep_cli); benches carry no private output code.
  */
 
 #ifndef CONDUIT_BENCH_COMMON_HH
 #define CONDUIT_BENCH_COMMON_HH
 
-#include <cmath>
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "src/core/simulation.hh"
+#include "src/runner/sweep_cli.hh"
 
 namespace conduit::bench
 {
+
+using runner::RunMatrix;
+using runner::RunSpec;
+using runner::SweepCli;
+using runner::SweepResult;
+using runner::SweepRunner;
+using runner::gmean;
+using runner::printHeader;
 
 /** Techniques in the paper's presentation order (Fig. 5 / Fig. 7). */
 inline const std::vector<std::string> &
@@ -40,37 +52,29 @@ evaluationTechniques()
     return t;
 }
 
-/** Run a technique ("CPU"/"GPU" or a policy name) on a workload. */
-inline RunResult
-runTechnique(Simulation &sim, WorkloadId id, const std::string &name)
+/**
+ * The standard speedup-table matrix: every workload under the CPU
+ * baseline plus @p techniques, on the default device.
+ */
+inline RunMatrix
+workloadTechniqueMatrix(const std::vector<std::string> &techniques)
 {
-    if (name == "CPU")
-        return sim.runHost(id, false);
-    if (name == "GPU")
-        return sim.runHost(id, true);
-    return sim.run(id, name);
+    RunMatrix m;
+    m.workloads(allWorkloads());
+    m.technique("CPU");
+    m.techniques(techniques);
+    return m;
 }
 
-/** Geometric mean of a vector of ratios. */
-inline double
-gmean(const std::vector<double> &xs)
+/** Technique columns of a sweep, minus the CPU baseline. */
+inline std::vector<std::string>
+nonBaselineColumns(const SweepResult &sweep)
 {
-    if (xs.empty())
-        return 0.0;
-    double acc = 0.0;
-    for (double x : xs)
-        acc += std::log(x);
-    return std::exp(acc / static_cast<double>(xs.size()));
-}
-
-/** Print a header row for a workload-major table. */
-inline void
-printHeader(const std::vector<std::string> &columns)
-{
-    std::printf("%-18s", "workload");
-    for (const auto &c : columns)
-        std::printf(" %14s", c.c_str());
-    std::printf("\n");
+    std::vector<std::string> columns = sweep.techniqueLabels();
+    columns.erase(std::remove(columns.begin(), columns.end(),
+                              std::string("CPU")),
+                  columns.end());
+    return columns;
 }
 
 } // namespace conduit::bench

@@ -2,42 +2,69 @@
  * @file
  * Domain example: offloading LLM inference to the SSD.
  *
- * Runs the INT8 LLaMA2-style inference workload under every
- * offloading technique, then inspects what the paper's §6.4 analysis
- * looks at: which resources each policy picked for the
- * multiplication-heavy phases, and the tail latency that results.
+ * Declares the whole technique comparison as one SweepRunner matrix
+ * (every technique row runs in parallel), then inspects what the
+ * paper's §6.4 analysis looks at: which resources each policy picked
+ * for the multiplication-heavy phases, and the tail latency that
+ * results.
  *
- *   ./build/examples/example_llm_offload
+ *   ./build/example_llm_offload [--threads N]
  */
 
 #include <cstdio>
 
 #include "src/core/simulation.hh"
+#include "src/runner/sweep_cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace conduit;
+    using namespace conduit::runner;
 
-    SimOptions so;
-    so.engine.recordTimeline = true;
-    Simulation sim(so);
+    const SweepCli cli = SweepCli::parse(argc, argv);
 
-    const auto &vp = sim.compile(WorkloadId::LlamaInference);
+    EngineOptions eo;
+    eo.recordTimeline = true;
+    RunMatrix matrix;
+    matrix.engine(eo)
+        .workload(WorkloadId::LlamaInference)
+        .techniques({"CPU", "GPU", "ISP", "Ares-Flash",
+                     "BW-Offloading", "DM-Offloading", "Conduit",
+                     "Ideal"});
+    cli.configure(matrix, "CPU"); // rows are normalized to CPU
+
+    SweepRunner sweeprunner(cli.runnerOptions());
+    const SweepResult sweep = sweeprunner.run(matrix.build());
+
+    const std::string llama = workloadName(WorkloadId::LlamaInference);
+    WorkloadParams params;
+    params.scale = cli.scale;
+    const auto compiled = sweeprunner.cache().get(
+        WorkloadId::LlamaInference, params, defaultSweepConfig());
     std::printf("LlaMA2 Inference: %zu vectorized instructions, "
                 "%.1f MiB footprint, %.0f%% of code vectorized\n\n",
-                vp.program.instrs.size(),
-                static_cast<double>(vp.program.footprintBytes()) /
+                compiled->program.instrs.size(),
+                static_cast<double>(
+                    compiled->program.footprintBytes()) /
                     (1024.0 * 1024.0),
-                100.0 * vp.report.vectorizableFraction);
+                100.0 * compiled->report.vectorizableFraction);
 
-    const RunResult cpu = sim.runHost(WorkloadId::LlamaInference,
-                                      /*gpu=*/false);
+    const RunResult *cpu_row = sweep.find(llama, "CPU");
+    if (!cpu_row) {
+        std::fprintf(stderr,
+                     "no rows to report (did --workloads filter out "
+                     "%s?)\n",
+                     llama.c_str());
+        return 1;
+    }
+    const RunResult &cpu = *cpu_row;
 
     std::printf("%-16s %10s %9s %8s | %6s %6s %6s | %10s\n", "policy",
                 "time (ms)", "speedup", "mJ", "ISP%", "PuD%", "IFP%",
                 "p99.99 us");
-    auto row = [&](const RunResult &r) {
+    for (const auto &technique : sweep.techniqueLabels()) {
+        const RunResult &r = sweep.at(llama, technique);
         const double n = static_cast<double>(
             r.instrCount ? r.instrCount : 1);
         std::printf(
@@ -49,30 +76,26 @@ main()
             r.energyJ() * 1e3, 100.0 * r.perResource[0] / n,
             100.0 * r.perResource[1] / n, 100.0 * r.perResource[2] / n,
             r.latencyUs.count() ? r.latencyUs.percentile(99.99) : 0.0);
-    };
-
-    row(cpu);
-    row(sim.runHost(WorkloadId::LlamaInference, /*gpu=*/true));
-    for (const char *p :
-         {"ISP", "Ares-Flash", "BW-Offloading", "DM-Offloading",
-          "Conduit", "Ideal"}) {
-        row(sim.run(WorkloadId::LlamaInference, p));
     }
 
-    // The §6.4 observation: where did the multiplies go?
-    auto conduit = sim.run(WorkloadId::LlamaInference, "Conduit");
-    std::uint64_t mul_ifp = 0, mul_total = 0;
-    for (std::size_t i = 0; i < conduit.opTrace.size(); ++i) {
-        const auto op = static_cast<OpCode>(conduit.opTrace[i]);
-        if (op == OpCode::Mul || op == OpCode::Mac) {
-            ++mul_total;
-            if (static_cast<Target>(conduit.resourceTrace[i]) ==
-                Target::Ifp)
-                ++mul_ifp;
+    // The §6.4 observation: where did the multiplies go? (No extra
+    // run needed — the sweep already recorded Conduit's traces.)
+    if (const RunResult *conduit = sweep.find(llama, "Conduit")) {
+        std::uint64_t mul_ifp = 0, mul_total = 0;
+        for (std::size_t i = 0; i < conduit->opTrace.size(); ++i) {
+            const auto op = static_cast<OpCode>(conduit->opTrace[i]);
+            if (op == OpCode::Mul || op == OpCode::Mac) {
+                ++mul_total;
+                if (static_cast<Target>(conduit->resourceTrace[i]) ==
+                    Target::Ifp)
+                    ++mul_ifp;
+            }
         }
+        std::printf(
+            "\nConduit sends %.1f%% of multiplications to IFP "
+            "(avoids the shift_and_add operand shuttles, Fig. 9)\n",
+            mul_total ? 100.0 * mul_ifp / mul_total : 0.0);
     }
-    std::printf("\nConduit sends %.1f%% of multiplications to IFP "
-                "(avoids the shift_and_add operand shuttles, Fig. 9)\n",
-                mul_total ? 100.0 * mul_ifp / mul_total : 0.0);
-    return 0;
+
+    return cli.finish(sweep);
 }

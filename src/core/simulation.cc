@@ -25,11 +25,18 @@ Simulation::Simulation(SimOptions opts)
 const VectorizedProgram &
 Simulation::compile(WorkloadId id)
 {
-    auto it = cache_.find(id);
-    if (it != cache_.end())
-        return it->second;
+    // std::map never invalidates references on insert, so entries
+    // can be handed out by reference while the lock is dropped.
+    {
+        std::lock_guard<std::mutex> lock(cacheMu_);
+        auto it = cache_.find(id);
+        if (it != cache_.end())
+            return it->second;
+    }
     const LoopProgram lp = buildWorkload(id, opts_.workload);
-    auto [pos, inserted] = cache_.emplace(id, vectorizer_.run(lp));
+    VectorizedProgram vp = vectorizer_.run(lp);
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    auto [pos, inserted] = cache_.emplace(id, std::move(vp));
     return pos->second;
 }
 

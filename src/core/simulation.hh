@@ -13,6 +13,7 @@
 #define CONDUIT_CORE_SIMULATION_HH
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "src/core/engine.hh"
@@ -44,7 +45,16 @@ class Simulation
   public:
     explicit Simulation(SimOptions opts = {});
 
-    /** Compile-time preprocessing for a workload (cached). */
+    /**
+     * Compile-time preprocessing for a workload (cached).
+     *
+     * Thread-safe: the returned reference stays valid for the
+     * lifetime of the Simulation and entries are immutable once
+     * inserted. Concurrent first calls for the same workload may
+     * both compile (the loser's result is discarded); use
+     * runner::ProgramCache for guaranteed compile-once sharing
+     * across sweep workers.
+     */
     const VectorizedProgram &compile(WorkloadId id);
 
     /** Compile an arbitrary loop program (not cached). */
@@ -74,6 +84,7 @@ class Simulation
   private:
     SimOptions opts_;
     Vectorizer vectorizer_;
+    std::mutex cacheMu_;
     std::map<WorkloadId, VectorizedProgram> cache_;
 };
 

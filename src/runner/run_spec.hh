@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Declarative description of a simulation sweep.
+ *
+ * A RunSpec names one (workload, technique, config, engine-options)
+ * combination; a RunMatrix crosses workload and technique axes into a
+ * vector of specs. The benches express each paper figure's evaluation
+ * matrix this way and hand it to SweepRunner instead of hand-rolling
+ * nested loops around Simulation::run.
+ */
+
+#ifndef CONDUIT_RUNNER_RUN_SPEC_HH
+#define CONDUIT_RUNNER_RUN_SPEC_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.hh"
+#include "src/offload/policy.hh"
+#include "src/sim/config.hh"
+#include "src/workloads/workloads.hh"
+
+namespace conduit::runner
+{
+
+/** Creates a fresh policy object for one run (must be reentrant). */
+using PolicyFactory =
+    std::function<std::unique_ptr<OffloadPolicy>()>;
+
+/** Which host baseline (if any) a spec runs on. */
+enum class HostKind { None, Cpu, Gpu };
+
+/** Split a comma-separated filter list into trimmed labels. */
+std::vector<std::string> splitCsv(const std::string &csv);
+
+/**
+ * The device every sweep runs on unless overridden: the Table 2
+ * geometry scaled for seconds-long benches, matching SimOptions'
+ * default so runner-driven benches reproduce the facade's numbers.
+ */
+inline SsdConfig
+defaultSweepConfig()
+{
+    return SsdConfig::scaled(1.0 / 128.0);
+}
+
+/**
+ * One cell of a sweep: everything needed to execute a single
+ * independent run and label its result row.
+ */
+struct RunSpec
+{
+    /** Row label; defaults to the workload's display name. */
+    std::string workload;
+
+    /**
+     * Column label. "CPU" and "GPU" select the host baselines; any
+     * other name is resolved through makePolicy() unless @ref policy
+     * is set.
+     */
+    std::string technique;
+
+    /** Device configuration (seed included — see SweepRunner). */
+    SsdConfig config = defaultSweepConfig();
+
+    /** Engine options for this run. */
+    EngineOptions engine;
+
+    /** Workload-generator knobs (ignored with a custom program). */
+    WorkloadParams params;
+
+    /** Workload to build and compile (via the shared cache). */
+    std::optional<WorkloadId> workloadId;
+
+    /** Pre-compiled program overriding @ref workloadId. */
+    std::shared_ptr<const Program> program;
+
+    /**
+     * Custom policy constructor overriding makePolicy(technique)
+     * (used by the ablation bench for ConduitPolicy variants).
+     */
+    PolicyFactory policy;
+
+    /**
+     * Run on the host instead of the SSD engine. Left at None, the
+     * technique labels "CPU" and "GPU" still select the baselines;
+     * set it explicitly to run a host baseline under another label
+     * (e.g. Fig. 4's "OSP").
+     */
+    HostKind host = HostKind::None;
+};
+
+/**
+ * Builder crossing workload and technique axes into RunSpecs.
+ *
+ * Axis order is preserved: build() emits workload-major rows in the
+ * exact order the axes were given, so result tables are stable
+ * regardless of how the sweep is scheduled.
+ */
+class RunMatrix
+{
+  public:
+    RunMatrix &config(const SsdConfig &cfg);
+    RunMatrix &engine(const EngineOptions &opts);
+    RunMatrix &params(const WorkloadParams &p);
+
+    RunMatrix &workload(WorkloadId id);
+    RunMatrix &workloads(const std::vector<WorkloadId> &ids);
+
+    /** Add a custom-program row axis entry (e.g. a case study). */
+    RunMatrix &program(const std::string &label,
+                       std::shared_ptr<const Program> prog);
+
+    RunMatrix &technique(const std::string &name);
+    RunMatrix &techniques(const std::vector<std::string> &names);
+
+    /** Add a custom-policy column axis entry (e.g. an ablation). */
+    RunMatrix &technique(const std::string &label, PolicyFactory make);
+
+    /** Add a host-baseline column under a custom label. */
+    RunMatrix &hostTechnique(const std::string &label, bool gpu);
+
+    /**
+     * Keep only workloads / techniques whose display name appears in
+     * the comma-separated list; an empty list keeps everything.
+     * Used by the bench CLI to run reduced matrices (CI smoke).
+     */
+    RunMatrix &filterWorkloads(const std::string &csv);
+    RunMatrix &filterTechniques(const std::string &csv);
+
+    /** Append a fully explicit spec (bypasses the cross product). */
+    RunMatrix &add(RunSpec spec);
+
+    /** Cross product (workload-major), then explicit extras. */
+    std::vector<RunSpec> build() const;
+
+  private:
+    struct WorkloadAxis
+    {
+        std::string label;
+        std::optional<WorkloadId> id;
+        std::shared_ptr<const Program> program;
+    };
+
+    struct TechniqueAxis
+    {
+        std::string label;
+        PolicyFactory policy; // null → resolve by label
+        HostKind host = HostKind::None;
+    };
+
+    SsdConfig config_ = defaultSweepConfig();
+    EngineOptions engine_;
+    WorkloadParams params_;
+    std::vector<WorkloadAxis> workloads_;
+    std::vector<TechniqueAxis> techniques_;
+    std::vector<RunSpec> extras_;
+    std::vector<std::string> workloadFilter_;
+    std::vector<std::string> techniqueFilter_;
+};
+
+} // namespace conduit::runner
+
+#endif // CONDUIT_RUNNER_RUN_SPEC_HH

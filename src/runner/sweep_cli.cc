@@ -1,0 +1,141 @@
+#include "src/runner/sweep_cli.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace conduit::runner
+{
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *prog, int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--threads N] [--scale X] [--workloads a,b]\n"
+        "          [--techniques a,b] [--csv PATH] [--json PATH]\n",
+        prog);
+    std::exit(code);
+}
+
+[[noreturn]] void
+badValue(const char *prog, const std::string &flag,
+         const std::string &value)
+{
+    std::fprintf(stderr, "%s: invalid value for %s: '%s'\n", prog,
+                 flag.c_str(), value.c_str());
+    usage(prog, 2);
+}
+
+/** Whole-string unsigned parse; rejects trailing garbage. */
+unsigned
+parseUnsigned(const char *prog, const std::string &flag,
+              const std::string &value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+    if (errno != 0 || end == value.c_str() || *end != '\0' ||
+        value[0] == '-')
+        badValue(prog, flag, value);
+    return static_cast<unsigned>(v);
+}
+
+/** Whole-string double parse; rejects trailing garbage. */
+double
+parseDouble(const char *prog, const std::string &flag,
+            const std::string &value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(value.c_str(), &end);
+    if (errno != 0 || end == value.c_str() || *end != '\0')
+        badValue(prog, flag, value);
+    return v;
+}
+
+} // namespace
+
+SweepCli
+SweepCli::parse(int argc, char **argv)
+{
+    SweepCli cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n",
+                             argv[0], arg.c_str());
+                usage(argv[0], 2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            usage(argv[0], 0);
+        else if (arg == "--threads")
+            cli.threads = parseUnsigned(argv[0], arg, value());
+        else if (arg == "--scale")
+            cli.scale = parseDouble(argv[0], arg, value());
+        else if (arg == "--workloads")
+            cli.workloadFilter = value();
+        else if (arg == "--techniques")
+            cli.techniqueFilter = value();
+        else if (arg == "--csv")
+            cli.csvPath = value();
+        else if (arg == "--json")
+            cli.jsonPath = value();
+        else {
+            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
+                         arg.c_str());
+            usage(argv[0], 2);
+        }
+    }
+    return cli;
+}
+
+void
+SweepCli::configure(RunMatrix &matrix,
+                    const std::string &baseline) const
+{
+    WorkloadParams p;
+    p.scale = scale;
+    matrix.params(p);
+    matrix.filterWorkloads(workloadFilter);
+    std::string techniques = techniqueFilter;
+    if (!techniques.empty() && !baseline.empty()) {
+        const auto labels = splitCsv(techniques);
+        if (std::find(labels.begin(), labels.end(), baseline) ==
+            labels.end())
+            techniques += "," + baseline;
+    }
+    matrix.filterTechniques(techniques);
+}
+
+int
+SweepCli::finish(const SweepResult &sweep) const
+{
+    int status = 0;
+    if (!csvPath.empty() && !sweep.writeCsvFile(csvPath)) {
+        std::fprintf(stderr, "error: could not write %s\n",
+                     csvPath.c_str());
+        status = 1;
+    }
+    if (!jsonPath.empty() && !sweep.writeJsonFile(jsonPath)) {
+        std::fprintf(stderr, "error: could not write %s\n",
+                     jsonPath.c_str());
+        status = 1;
+    }
+    std::fprintf(stderr,
+                 "[sweep] %zu runs on %u thread%s in %.2fs\n",
+                 sweep.size(), sweep.threads(),
+                 sweep.threads() == 1 ? "" : "s",
+                 sweep.wallSeconds());
+    return status;
+}
+
+} // namespace conduit::runner

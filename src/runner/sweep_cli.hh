@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared command-line surface for the sweep benches.
+ *
+ * Every bench accepts the same flags:
+ *
+ *   --threads N        worker threads (0 = hardware concurrency)
+ *   --scale X          workload dataset-scale multiplier
+ *   --workloads a,b    keep only the named workload rows
+ *   --techniques a,b   keep only the named technique columns
+ *   --csv PATH         write machine-readable rows as CSV
+ *   --json PATH        write machine-readable rows as JSON
+ *
+ * Sweep timing goes to stderr so stdout stays byte-identical across
+ * thread counts (the reproducibility contract tests rely on).
+ */
+
+#ifndef CONDUIT_RUNNER_SWEEP_CLI_HH
+#define CONDUIT_RUNNER_SWEEP_CLI_HH
+
+#include <string>
+
+#include "src/runner/sweep_runner.hh"
+
+namespace conduit::runner
+{
+
+/** Parsed common bench flags. */
+struct SweepCli
+{
+    unsigned threads = 0;
+    double scale = 1.0;
+    std::string workloadFilter;
+    std::string techniqueFilter;
+    std::string csvPath;
+    std::string jsonPath;
+
+    /**
+     * Parse argv; prints usage and exits on --help or bad flags.
+     * Unknown flags are an error (benches take nothing else).
+     */
+    static SweepCli parse(int argc, char **argv);
+
+    /** SweepRunner options implied by the flags. */
+    SweepOptions runnerOptions() const { return {threads}; }
+
+    /**
+     * Apply the row/column filters and scale to a matrix. A
+     * non-empty @p baseline names a technique the caller normalizes
+     * every row to; it stays in the matrix even when --techniques
+     * omits it, since dropping it could only crash the caller.
+     */
+    void configure(RunMatrix &matrix,
+                   const std::string &baseline = "") const;
+
+    /**
+     * Post-sweep bookkeeping: write the requested CSV/JSON files
+     * and report wall-clock + thread count on stderr.
+     *
+     * @return Process exit status: 0 on success, 1 when a requested
+     *         output file could not be written (benches return this
+     *         from main so scripted pipelines see the failure).
+     */
+    int finish(const SweepResult &sweep) const;
+};
+
+} // namespace conduit::runner
+
+#endif // CONDUIT_RUNNER_SWEEP_CLI_HH

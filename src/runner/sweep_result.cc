@@ -1,0 +1,242 @@
+#include "src/runner/sweep_result.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/sim/types.hh"
+
+namespace conduit::runner
+{
+
+namespace
+{
+
+/**
+ * Shortest decimal that round-trips a double, so emitted rows are
+ * byte-stable across runs and thread counts.
+ */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    double parsed = 0.0;
+    for (int prec = 1; prec <= 16; ++prec) {
+        char probe[64];
+        std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+        if (std::sscanf(probe, "%lf", &parsed) == 1 && parsed == v)
+            return probe;
+    }
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** One row's emitted fields, shared by the CSV and JSON writers. */
+struct Field
+{
+    const char *name;
+    std::string value;
+    bool quoted;
+};
+
+std::vector<Field>
+rowFields(const RunSpec &spec, const RunResult &r)
+{
+    const auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+    const auto &h = r.latencyUs;
+    return {
+        {"workload", spec.workload, true},
+        {"technique", spec.technique, true},
+        {"exec_time_ps", u64(r.execTime), false},
+        {"instr_count", u64(r.instrCount), false},
+        {"isp_instrs", u64(r.perResource[0]), false},
+        {"pud_instrs", u64(r.perResource[1]), false},
+        {"ifp_instrs", u64(r.perResource[2]), false},
+        {"dm_energy_j", fmtDouble(r.dmEnergyJ), false},
+        {"compute_energy_j", fmtDouble(r.computeEnergyJ), false},
+        {"latency_count", u64(h.count()), false},
+        {"latency_p50_us",
+         fmtDouble(h.count() ? h.percentile(50) : 0.0), false},
+        {"latency_p99_us",
+         fmtDouble(h.count() ? h.percentile(99) : 0.0), false},
+        {"latency_p9999_us",
+         fmtDouble(h.count() ? h.percentile(99.99) : 0.0), false},
+        {"latency_max_us", fmtDouble(h.max()), false},
+        {"compute_busy_ps", u64(r.computeBusy), false},
+        {"internal_dm_busy_ps", u64(r.internalDmBusy), false},
+        {"flash_read_busy_ps", u64(r.flashReadBusy), false},
+        {"host_dm_busy_ps", u64(r.hostDmBusy), false},
+        {"offloader_busy_ps", u64(r.offloaderBusy), false},
+        {"faults_injected", u64(r.faultsInjected), false},
+        {"replays", u64(r.replays), false},
+        {"coherence_commits", u64(r.coherenceCommits), false},
+        {"latch_evictions", u64(r.latchEvictions), false},
+    };
+}
+
+} // namespace
+
+SweepResult::SweepResult(std::vector<RunSpec> specs,
+                         std::vector<RunResult> results,
+                         double wall_seconds, unsigned threads)
+    : specs_(std::move(specs)), results_(std::move(results)),
+      wallSeconds_(wall_seconds), threads_(threads)
+{
+    if (specs_.size() != results_.size())
+        throw std::logic_error("SweepResult: specs/results mismatch");
+}
+
+const RunResult *
+SweepResult::find(const std::string &workload,
+                  const std::string &technique) const
+{
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        if (specs_[i].workload == workload &&
+            specs_[i].technique == technique)
+            return &results_[i];
+    }
+    return nullptr;
+}
+
+const RunResult &
+SweepResult::at(const std::string &workload,
+                const std::string &technique) const
+{
+    if (const RunResult *r = find(workload, technique))
+        return *r;
+    throw std::out_of_range("SweepResult: no row for (" + workload +
+                            ", " + technique + ")");
+}
+
+namespace
+{
+
+std::vector<std::string>
+uniqueLabels(const std::vector<RunSpec> &specs,
+             std::string RunSpec::*field)
+{
+    std::vector<std::string> out;
+    for (const auto &s : specs) {
+        const std::string &label = s.*field;
+        if (std::find(out.begin(), out.end(), label) == out.end())
+            out.push_back(label);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<std::string>
+SweepResult::workloadLabels() const
+{
+    return uniqueLabels(specs_, &RunSpec::workload);
+}
+
+std::vector<std::string>
+SweepResult::techniqueLabels() const
+{
+    return uniqueLabels(specs_, &RunSpec::technique);
+}
+
+void
+SweepResult::writeCsv(std::ostream &os) const
+{
+    bool header_done = false;
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        const auto fields = rowFields(specs_[i], results_[i]);
+        if (!header_done) {
+            for (std::size_t f = 0; f < fields.size(); ++f)
+                os << (f ? "," : "") << fields[f].name;
+            os << "\n";
+            header_done = true;
+        }
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+            if (f)
+                os << ",";
+            if (fields[f].quoted)
+                os << '"' << fields[f].value << '"';
+            else
+                os << fields[f].value;
+        }
+        os << "\n";
+    }
+}
+
+void
+SweepResult::writeJson(std::ostream &os) const
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        const auto fields = rowFields(specs_[i], results_[i]);
+        os << "  {";
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+            if (f)
+                os << ", ";
+            os << '"' << fields[f].name << "\": ";
+            if (fields[f].quoted)
+                os << '"' << jsonEscape(fields[f].value) << '"';
+            else
+                os << fields[f].value;
+        }
+        os << (i + 1 < results_.size() ? "},\n" : "}\n");
+    }
+    os << "]\n";
+}
+
+bool
+SweepResult::writeCsvFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeCsv(os);
+    return static_cast<bool>(os);
+}
+
+bool
+SweepResult::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeJson(os);
+    return static_cast<bool>(os);
+}
+
+double
+gmean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+void
+printHeader(const std::vector<std::string> &columns)
+{
+    std::printf("%-18s", "workload");
+    for (const auto &c : columns)
+        std::printf(" %14s", c.c_str());
+    std::printf("\n");
+}
+
+} // namespace conduit::runner

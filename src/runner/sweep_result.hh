@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Sweep result aggregation and emission.
+ *
+ * SweepResult pairs every RunSpec with its RunResult in spec order
+ * (independent of how the sweep was scheduled across threads) and
+ * owns the result-emission layer the benches share: machine-readable
+ * CSV / JSON rows plus the table-formatting helpers that used to be
+ * copy-pasted into bench/common.hh.
+ */
+
+#ifndef CONDUIT_RUNNER_SWEEP_RESULT_HH
+#define CONDUIT_RUNNER_SWEEP_RESULT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/runner/run_spec.hh"
+
+namespace conduit::runner
+{
+
+/** All rows of one executed sweep, in matrix (spec) order. */
+class SweepResult
+{
+  public:
+    SweepResult() = default;
+    SweepResult(std::vector<RunSpec> specs,
+                std::vector<RunResult> results, double wall_seconds,
+                unsigned threads);
+
+    std::size_t size() const { return results_.size(); }
+
+    const std::vector<RunSpec> &specs() const { return specs_; }
+    const std::vector<RunResult> &results() const { return results_; }
+
+    const RunSpec &spec(std::size_t i) const { return specs_.at(i); }
+    const RunResult &result(std::size_t i) const
+    {
+        return results_.at(i);
+    }
+
+    /** First row matching the labels, or nullptr. */
+    const RunResult *find(const std::string &workload,
+                          const std::string &technique) const;
+
+    /** Like find(), but throws std::out_of_range when absent. */
+    const RunResult &at(const std::string &workload,
+                        const std::string &technique) const;
+
+    /** Distinct workload labels in first-appearance order. */
+    std::vector<std::string> workloadLabels() const;
+
+    /** Distinct technique labels in first-appearance order. */
+    std::vector<std::string> techniqueLabels() const;
+
+    /** Host wall-clock the sweep took (not simulated time). */
+    double wallSeconds() const { return wallSeconds_; }
+
+    /** Worker threads the sweep actually used. */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Emit one CSV row per run (stable header, spec order). Output
+     * is byte-identical for identical specs regardless of the
+     * thread count the sweep ran with.
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /** Emit a JSON array of row objects (same fields as the CSV). */
+    void writeJson(std::ostream &os) const;
+
+    /** @name Convenience file variants @{ */
+    bool writeCsvFile(const std::string &path) const;
+    bool writeJsonFile(const std::string &path) const;
+    /** @} */
+
+  private:
+    std::vector<RunSpec> specs_;
+    std::vector<RunResult> results_;
+    double wallSeconds_ = 0.0;
+    unsigned threads_ = 1;
+};
+
+/** Geometric mean of a vector of ratios (0 if empty). */
+double gmean(const std::vector<double> &xs);
+
+/** Print a header row for a workload-major table to stdout. */
+void printHeader(const std::vector<std::string> &columns);
+
+} // namespace conduit::runner
+
+#endif // CONDUIT_RUNNER_SWEEP_RESULT_HH

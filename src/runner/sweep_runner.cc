@@ -1,0 +1,124 @@
+#include "src/runner/sweep_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "src/host/host_model.hh"
+
+namespace conduit::runner
+{
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}
+
+RunResult
+SweepRunner::runOne(const RunSpec &spec)
+{
+    // Resolve the program: explicit > generated workload.
+    std::shared_ptr<const Program> prog = spec.program;
+    std::shared_ptr<const VectorizedProgram> compiled;
+    if (!prog) {
+        if (!spec.workloadId)
+            throw std::invalid_argument(
+                "RunSpec has neither a program nor a workload: " +
+                spec.workload + "/" + spec.technique);
+        compiled = cache_.get(*spec.workloadId, spec.params,
+                              spec.config);
+        prog = std::shared_ptr<const Program>(compiled,
+                                              &compiled->program);
+    }
+
+    // Host baselines bypass the SSD engine entirely.
+    HostKind host = spec.host;
+    if (host == HostKind::None && !spec.policy) {
+        if (spec.technique == "CPU")
+            host = HostKind::Cpu;
+        else if (spec.technique == "GPU")
+            host = HostKind::Gpu;
+    }
+    if (host != HostKind::None) {
+        const bool gpu = host == HostKind::Gpu;
+        HostModel model(spec.config, gpu ? HostModel::Kind::Gpu
+                                         : HostModel::Kind::Cpu);
+        const HostResult hr = model.run(*prog);
+        RunResult r;
+        r.workload = spec.workload;
+        r.policy = spec.technique;
+        r.execTime = hr.totalTime;
+        r.instrCount = prog->instrs.size();
+        r.computeBusy = hr.computeTime;
+        r.hostDmBusy = hr.transferTime;
+        r.dmEnergyJ = hr.dmEnergyJ;
+        r.computeEnergyJ = hr.computeEnergyJ;
+        return r;
+    }
+
+    auto policy = spec.policy ? spec.policy()
+                              : makePolicy(spec.technique);
+    Engine engine(spec.config);
+    RunResult r = engine.run(*prog, *policy, spec.engine);
+    // Label with the spec's display names (a custom policy object's
+    // own name may differ, e.g. ablation variants).
+    r.workload = spec.workload;
+    r.policy = spec.technique;
+    return r;
+}
+
+SweepResult
+SweepRunner::run(std::vector<RunSpec> specs)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t n = specs.size();
+    std::vector<RunResult> results(n);
+    std::vector<std::exception_ptr> errors(n);
+
+    unsigned threads = opts_.threads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, std::max<std::size_t>(n, 1)));
+
+    // Workers pull the next unclaimed spec index; results land at
+    // that index, so output order never depends on scheduling.
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                results[i] = runOne(specs[i]);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    for (std::size_t i = 0; i < n; ++i)
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return SweepResult(std::move(specs), std::move(results), wall,
+                       threads);
+}
+
+} // namespace conduit::runner

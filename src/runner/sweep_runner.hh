@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Thread-pooled sweep execution.
+ *
+ * SweepRunner executes a vector of RunSpecs across worker threads.
+ * Every run is fully independent — its own Engine (fresh simulated
+ * SSD), its own policy object, and a deterministic seed derived only
+ * from the spec — so the result of spec i is bit-identical whether
+ * the sweep runs on 1 thread or N, and whatever order the scheduler
+ * interleaves the workers in. Compiled programs are shared through
+ * an immutable ProgramCache.
+ */
+
+#ifndef CONDUIT_RUNNER_SWEEP_RUNNER_HH
+#define CONDUIT_RUNNER_SWEEP_RUNNER_HH
+
+#include "src/runner/program_cache.hh"
+#include "src/runner/run_spec.hh"
+#include "src/runner/sweep_result.hh"
+
+namespace conduit::runner
+{
+
+/** Runner knobs. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned threads = 0;
+};
+
+/** Executes sweep matrices in parallel. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {});
+
+    /**
+     * Execute every spec and return results in spec order. Throws
+     * the first (by spec index) exception any run raised, after all
+     * workers have stopped.
+     */
+    SweepResult run(std::vector<RunSpec> specs);
+
+    /**
+     * Execute one spec synchronously (also the per-worker body, so
+     * serial and parallel execution are the same code path).
+     */
+    RunResult runOne(const RunSpec &spec);
+
+    /** The shared compile cache (shared across run() calls too). */
+    ProgramCache &cache() { return cache_; }
+
+  private:
+    SweepOptions opts_;
+    ProgramCache cache_;
+};
+
+} // namespace conduit::runner
+
+#endif // CONDUIT_RUNNER_SWEEP_RUNNER_HH

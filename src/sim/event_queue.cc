@@ -12,17 +12,18 @@ EventQueue::schedule(Tick when, Callback cb, int priority)
         throw std::logic_error("EventQueue: scheduling event in the past");
     const EventId id = nextId_++;
     heap_.push(Entry{when, priority, id, std::move(cb)});
+    live_.insert(id);
     return id;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    // Lazy cancellation: we cannot remove from the middle of the heap,
-    // so remember the id and discard the entry when it surfaces.
-    if (id == 0 || id >= nextId_)
-        return false;
-    return cancelled_.insert(id).second;
+    // Lazy cancellation: we cannot remove from the middle of the
+    // heap, so drop the id from the live set and discard the entry
+    // when it surfaces. Only still-pending ids are cancellable —
+    // fired, already-cancelled, and never-issued ids report false.
+    return live_.erase(id) != 0;
 }
 
 bool
@@ -31,11 +32,8 @@ EventQueue::runOne()
     while (!heap_.empty()) {
         Entry e = heap_.top();
         heap_.pop();
-        auto it = cancelled_.find(e.id);
-        if (it != cancelled_.end()) {
-            cancelled_.erase(it);
-            continue;
-        }
+        if (live_.erase(e.id) == 0)
+            continue; // cancelled
         now_ = e.when;
         ++fired_;
         e.cb();
@@ -50,11 +48,8 @@ EventQueue::run(Tick until)
     std::uint64_t n = 0;
     while (!heap_.empty()) {
         // Peek past cancelled entries to find the next live event time.
-        while (!heap_.empty() &&
-               cancelled_.count(heap_.top().id)) {
-            cancelled_.erase(heap_.top().id);
+        while (!heap_.empty() && !live_.count(heap_.top().id))
             heap_.pop();
-        }
         if (heap_.empty() || heap_.top().when > until)
             break;
         if (runOne())

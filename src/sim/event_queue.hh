@@ -77,10 +77,10 @@ class EventQueue
     Tick now() const { return now_; }
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+    std::size_t pending() const { return live_.size(); }
 
     /** True if no live events remain. */
-    bool empty() const { return pending() == 0; }
+    bool empty() const { return live_.empty(); }
 
     /** Total events fired since construction. */
     std::uint64_t eventsFired() const { return fired_; }
@@ -108,7 +108,11 @@ class EventQueue
     };
 
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<EventId> cancelled_;
+    std::unordered_set<EventId> live_; // scheduled, not yet fired or
+                                       // cancelled; a heap entry
+                                       // whose id is absent was
+                                       // cancelled and is discarded
+                                       // when it surfaces
     Tick now_ = 0;
     EventId nextId_ = 1;
     std::uint64_t fired_ = 0;

@@ -10,7 +10,8 @@
 #ifndef CONDUIT_SIM_LOG_HH
 #define CONDUIT_SIM_LOG_HH
 
-#include <iostream>
+#include <atomic>
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -19,14 +20,24 @@ namespace conduit
 
 enum class LogLevel { None = 0, Warn = 1, Info = 2, Debug = 3 };
 
-/** Global log-level holder. */
+/**
+ * Global log-level holder.
+ *
+ * The level is atomic and messages are emitted as a single stdio
+ * call, so concurrent sweep workers can log without tearing lines
+ * or racing on the filter.
+ */
 class Log
 {
   public:
-    static LogLevel &level()
+    static LogLevel level()
     {
-        static LogLevel lvl = LogLevel::Warn;
-        return lvl;
+        return levelRef().load(std::memory_order_relaxed);
+    }
+
+    static void setLevel(LogLevel lvl)
+    {
+        levelRef().store(lvl, std::memory_order_relaxed);
     }
 
     static bool
@@ -40,7 +51,15 @@ class Log
     {
         if (!enabled(lvl))
             return;
-        std::cerr << "[" << tag << "] " << msg << "\n";
+        const std::string line = "[" + tag + "] " + msg + "\n";
+        std::fputs(line.c_str(), stderr);
+    }
+
+  private:
+    static std::atomic<LogLevel> &levelRef()
+    {
+        static std::atomic<LogLevel> lvl{LogLevel::Warn};
+        return lvl;
     }
 };
 

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Multi-tenant co-location matrix: what the paper's tail-latency
+ * evaluation (Fig. 8) only approximates with a single stream, run
+ * properly — N instruction streams co-scheduled on ONE simulated SSD
+ * by the event-driven engine, contending for the offloader, flash
+ * dies, DRAM banks and the controller core through the shared FCFS
+ * calendars.
+ *
+ * For every primary workload the bench reports its isolated run
+ * (alone on the device) and its co-located runs against each
+ * background tenant: the slowdown of the primary's makespan and the
+ * inflation of its per-request latency tail. Every cell is one
+ * deterministic engine run, so repeated executions (and any
+ * --threads value) produce byte-identical output.
+ *
+ * Flags: the shared sweep CLI. --workloads filters the tenant set;
+ * --techniques selects the one offloading policy every stream runs
+ * under (a single entry, default Conduit).
+ */
+
+#include <chrono>
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace conduit;
+using namespace conduit::bench;
+using conduit::runner::MultiRunSpec;
+using conduit::runner::StreamSlot;
+using conduit::runner::splitCsv;
+
+StreamSlot
+slotFor(WorkloadId id, const std::string &policy)
+{
+    StreamSlot s;
+    s.workloadId = id;
+    s.workload = workloadName(id);
+    s.technique = policy;
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace conduit;
+    using namespace conduit::bench;
+
+    const SweepCli cli = SweepCli::parse(argc, argv);
+
+    std::vector<std::string> names;
+    for (WorkloadId id : allWorkloads())
+        names.push_back(workloadName(id));
+    if (cli.listWorkloads)
+        runner::listAndExit(names);
+    if (cli.listTechniques)
+        runner::listAndExit(policyNames());
+
+    // Tenant set: the two tail-sensitive workloads of Fig. 8 plus
+    // the two cheapest Table 3 applications, so the default matrix
+    // stays seconds-long. --workloads widens or narrows it.
+    std::vector<WorkloadId> tenants = {
+        WorkloadId::Aes, WorkloadId::XorFilter, WorkloadId::Jacobi1d,
+        WorkloadId::LlamaInference};
+    const auto keep = splitCsv(cli.workloadFilter);
+    if (!runner::reportUnknown(keep, names, "workload"))
+        return 2;
+    if (!keep.empty()) {
+        tenants.clear();
+        for (WorkloadId id : allWorkloads()) {
+            if (std::find(keep.begin(), keep.end(),
+                          workloadName(id)) != keep.end())
+                tenants.push_back(id);
+        }
+    }
+    const auto policies = splitCsv(cli.techniqueFilter);
+    if (policies.size() > 1) {
+        std::fprintf(stderr,
+                     "every stream runs the same policy; give a "
+                     "single --techniques entry\n");
+        return 2;
+    }
+    const std::string policy =
+        policies.empty() ? std::string("Conduit") : policies.front();
+    if (policy == "CPU" || policy == "GPU") {
+        std::fprintf(stderr,
+                     "streams run on the SSD engine; host baseline "
+                     "'%s' cannot be a tenant policy\n",
+                     policy.c_str());
+        return 2;
+    }
+    if (!runner::reportUnknown({policy}, policyNames(), "policy"))
+        return 2;
+
+    WorkloadParams params;
+    params.scale = cli.scale;
+
+    // Cells: one isolated run per tenant, then every ordered pair
+    // (primary, background) co-located. Cell order is the report
+    // order; runMultiAll keeps results in spec order regardless of
+    // the worker-thread count.
+    std::vector<MultiRunSpec> cells;
+    for (WorkloadId p : tenants) {
+        MultiRunSpec iso;
+        iso.label = workloadName(p);
+        iso.params = params;
+        iso.streams = {slotFor(p, policy)};
+        cells.push_back(std::move(iso));
+    }
+    for (WorkloadId p : tenants) {
+        for (WorkloadId b : tenants) {
+            MultiRunSpec co;
+            co.label = workloadName(p) + "+" + workloadName(b);
+            co.params = params;
+            co.streams = {slotFor(p, policy), slotFor(b, policy)};
+            cells.push_back(std::move(co));
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    SweepRunner runner(cli.runnerOptions());
+    const std::vector<sched::MultiRunResult> results =
+        runner.runMultiAll(cells);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    const std::size_t n = tenants.size();
+    std::printf("Multi-tenant co-location on one SSD (policy: %s)\n\n",
+                policy.c_str());
+
+    // Per-stream rows for the machine-readable emission layer: the
+    // primary stream of every cell, labelled by its company.
+    std::vector<runner::RunSpec> rowSpecs;
+    std::vector<RunResult> rowResults;
+
+    for (std::size_t pi = 0; pi < n; ++pi) {
+        const RunResult &alone = results[pi].streams.front();
+        std::printf("%s\n", alone.workload.c_str());
+        std::printf("  %-24s %10s %10s %12s %12s\n", "tenancy",
+                    "exec (ms)", "slowdown", "p99 (us)",
+                    "p99.99 (us)");
+        std::printf("  %-24s %10.3f %10s %12.2f %12.2f\n", "isolated",
+                    ticksToUs(alone.execTime) / 1000.0, "1.00x",
+                    alone.latencyUs.percentile(99),
+                    alone.latencyUs.percentile(99.99));
+        {
+            runner::RunSpec spec;
+            spec.workload = alone.workload;
+            spec.technique = "isolated";
+            rowSpecs.push_back(spec);
+            rowResults.push_back(alone);
+        }
+        for (std::size_t bi = 0; bi < n; ++bi) {
+            const auto &cell = results[n + pi * n + bi];
+            const RunResult &primary = cell.streams.front();
+            const std::string company =
+                "+" + cell.streams.back().workload;
+            const double slowdown = alone.execTime == 0
+                ? 0.0
+                : static_cast<double>(primary.execTime) /
+                    static_cast<double>(alone.execTime);
+            std::printf("  %-24s %10.3f %9.2fx %12.2f %12.2f\n",
+                        company.c_str(),
+                        ticksToUs(primary.execTime) / 1000.0, slowdown,
+                        primary.latencyUs.percentile(99),
+                        primary.latencyUs.percentile(99.99));
+            runner::RunSpec spec;
+            spec.workload = primary.workload;
+            spec.technique = company;
+            rowSpecs.push_back(spec);
+            rowResults.push_back(primary);
+        }
+        std::printf("\n");
+    }
+
+    // Consolidation view: co-running a pair on one device vs giving
+    // each tenant its own SSD (the paper's single-stream world).
+    std::printf("pairwise consolidation (makespan vs sum of "
+                "isolated runs)\n");
+    for (std::size_t pi = 0; pi < n; ++pi) {
+        for (std::size_t bi = pi + 1; bi < n; ++bi) {
+            const auto &cell = results[n + pi * n + bi];
+            const Tick sum =
+                results[pi].streams.front().execTime +
+                results[bi].streams.front().execTime;
+            std::printf(
+                "  %-40s makespan %8.3f ms, serial-on-two-SSDs "
+                "%8.3f ms (%.2fx)\n",
+                cells[n + pi * n + bi].label.c_str(),
+                ticksToUs(cell.makespan) / 1000.0,
+                ticksToUs(sum) / 1000.0,
+                cell.makespan == 0
+                    ? 0.0
+                    : static_cast<double>(sum) /
+                        static_cast<double>(cell.makespan));
+        }
+    }
+
+    const SweepResult rows(std::move(rowSpecs), std::move(rowResults),
+                           wall, runner.workerCount(cells.size()));
+    return cli.finish(rows);
+}

@@ -16,6 +16,14 @@ main(int argc, char **argv)
     using namespace conduit::bench;
 
     const SweepCli cli = SweepCli::parse(argc, argv);
+    if (cli.listWorkloads) {
+        std::vector<std::string> names;
+        for (WorkloadId id : allWorkloads())
+            names.push_back(workloadName(id));
+        runner::listAndExit(names);
+    }
+    if (cli.listTechniques)
+        runner::listAndExit({}); // compile-only: no technique axis
     // Compile-time bench: no sweep runs, so the run-oriented flags
     // have nothing to act on — say so instead of silently ignoring.
     if (!cli.csvPath.empty() || !cli.jsonPath.empty() ||

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/sim/event_queue.hh"
+
 namespace conduit
 {
 
@@ -10,7 +12,7 @@ Engine::Engine(const SsdConfig &cfg)
     : cfg_(cfg), nand_(cfg.nand, &stats_), ftl_(nand_, cfg, &stats_),
       dram_(cfg.dram, &stats_), pud_(dram_, cfg.compute, &stats_),
       isp_(cfg.isp, cfg.compute, &stats_),
-      ifp_(nand_, cfg.compute, &stats_), energy_(cfg.energy),
+      ifp_(nand_, cfg.compute, &stats_),
       transformer_(cfg.nand.pageBytes, cfg.dram.rowBytes,
                    cfg.isp.simdBytes),
       rng_(cfg.seed)
@@ -18,28 +20,26 @@ Engine::Engine(const SsdConfig &cfg)
 }
 
 void
-Engine::prepare(const Program &prog, const EngineOptions &opts)
+Engine::prepare(std::uint64_t total_pages, const EngineOptions &opts)
 {
     opts_ = opts;
-    if (prog.footprintPages > ftl_.logicalPages()) {
+    if (total_pages > ftl_.logicalPages()) {
         throw std::invalid_argument(
             "Engine: program footprint exceeds SSD logical capacity; "
             "scale the workload or the device");
     }
-    ftl_.preload(prog.footprintPages);
+    ftl_.preload(total_pages);
     ftl_.setMappingCacheCapacity(static_cast<std::uint64_t>(
-        static_cast<double>(prog.footprintPages) *
+        static_cast<double>(total_pages) *
         opts.mappingCacheFraction));
-    pageMeta_.assign(prog.footprintPages, PageMeta{});
-    completion_.assign(prog.instrs.size(), 0);
+    pageMeta_.assign(total_pages, PageMeta{});
     latchFifo_.assign(nand_.numDies(), {});
     dramCapacityPages_ = std::max<std::uint64_t>(
         64, static_cast<std::uint64_t>(
-                static_cast<double>(prog.footprintPages) *
+                static_cast<double>(total_pages) *
                 opts.dramStagingFraction));
     dramLru_.clear();
     dramPos_.clear();
-    idealBusy_.fill(0);
 }
 
 void
@@ -72,7 +72,10 @@ Engine::dramTouch(Lpn page, Tick now)
             continue;
         PageMeta &vm = pageMeta_[victim];
         if (vm.loc == Loc::Dram && vm.dirty) {
-            // Background writeback (coherence trigger iii).
+            // Background writeback (coherence trigger iii). The
+            // victim may belong to another stream; the stream whose
+            // allocation forced the eviction pays the writeback,
+            // matching how a real device charges the triggering I/O.
             commitPage(victim, now);
         } else {
             vm.dramCached = false;
@@ -88,13 +91,14 @@ Engine::fragmentsFor(const VecInstruction &instr)
     // other operands' corresponding pages in the same block.
     const Operand &lead = instr.srcs.empty() ? instr.dst
                                              : instr.srcs.front();
+    const Lpn base = streamBase();
     std::vector<IfpFragment> frags;
     const std::uint64_t vec_bytes =
         static_cast<std::uint64_t>(instr.lanes) * instr.elemBits / 8;
     const std::uint64_t per_page =
         std::min<std::uint64_t>(vec_bytes, cfg_.nand.pageBytes);
-    for (std::uint64_t p = lead.basePage;
-         p < lead.basePage + lead.pageCount; ++p) {
+    for (std::uint64_t p = base + lead.basePage;
+         p < base + lead.basePage + lead.pageCount; ++p) {
         const Ppn ppn = ftl_.physicalOf(p);
         const std::uint32_t die =
             nand_.dieIndex(nand_.decode(ppn));
@@ -121,13 +125,14 @@ Engine::sensedOperands(const VecInstruction &instr) const
     // latches (a previous IFP result) fold into the next in-flash
     // operation without re-sensing the array (ParaBit-style
     // latch-combining applies to MWS results as well).
+    const Lpn base = streamBase();
+    const Lpn limit = streamEnd();
     std::uint32_t sensed = 0;
     for (const auto &src : instr.srcs) {
         bool latch_resident = src.pageCount > 0;
-        for (Lpn p = src.basePage;
-             p < src.basePage + src.pageCount; ++p) {
-            if (p >= pageMeta_.size() ||
-                pageMeta_[p].loc != Loc::Latch) {
+        for (Lpn p = base + src.basePage;
+             p < base + src.basePage + src.pageCount; ++p) {
+            if (p >= limit || pageMeta_[p].loc != Loc::Latch) {
                 latch_resident = false;
                 break;
             }
@@ -191,13 +196,15 @@ Engine::dmEstimate(const VecInstruction &instr, Target t,
                 per_page = std::max(per_page, flash_stage);
                 bytes += n.pageBytes;
             }
-            break;
         }
     };
 
+    const Lpn base = streamBase();
+    const Lpn limit = streamEnd();
     for (const auto &s : instr.srcs) {
-        for (Lpn p = s.basePage; p < s.basePage + s.pageCount; ++p) {
-            if (p < pageMeta_.size())
+        for (Lpn p = base + s.basePage;
+             p < base + s.basePage + s.pageCount; ++p) {
+            if (p < limit)
                 classify(p);
         }
     }
@@ -244,7 +251,8 @@ Engine::features(const VecInstruction &instr, Tick now)
         f.dm[i] = dmEstimate(instr, t, f.dmBytes[i]);
     }
 
-    // (4) Resource queueing delay.
+    // (4) Resource queueing delay: live reads of the shared
+    // calendars, so co-run streams see each other's backlog.
     f.queue[static_cast<std::size_t>(Target::Isp)] = isp_.backlog(now);
     f.queue[static_cast<std::size_t>(Target::Pud)] =
         dram_.bankBacklog(now);
@@ -254,11 +262,13 @@ Engine::features(const VecInstruction &instr, Tick now)
             std::max(die_backlog, nand_.dieBacklog(fr.dieIndex, now));
     f.queue[static_cast<std::size_t>(Target::Ifp)] = die_backlog;
 
-    // (3) Data dependence delay.
+    // (3) Data dependence delay (within the dispatching stream).
     Tick dep_ready = 0;
-    for (InstrId d : instr.deps) {
-        if (d < completion_.size())
-            dep_ready = std::max(dep_ready, completion_[d]);
+    if (ctx_) {
+        for (InstrId d : instr.deps) {
+            if (d < ctx_->completion.size())
+                dep_ready = std::max(dep_ready, ctx_->completion[d]);
+        }
     }
     f.depDelay = dep_ready > now ? dep_ready - now : 0;
 
@@ -283,9 +293,10 @@ Engine::offloadOverhead(const VecInstruction &instr, Tick now)
     // location comes from real L2P lookups (so DFTL misses produce
     // the up-to-33us outliers the paper reports).
     const OverheadConfig &o = cfg_.overhead;
+    const Lpn base = streamBase();
     Tick t = 0;
     for (const auto &s : instr.srcs) {
-        auto lk = ftl_.translate(s.basePage, now);
+        auto lk = ftl_.translate(base + s.basePage, now);
         t += lk.latency;
     }
     if (!instr.deps.empty())
@@ -305,18 +316,18 @@ Engine::commitPage(Lpn page, Tick earliest)
         const Ppn ppn = ftl_.physicalOf(page);
         const std::uint32_t ch = nand_.decode(ppn).channel;
         auto x = nand_.transferIn(ch, cfg_.nand.pageBytes, earliest);
-        result_->internalDmBusy += x.end - x.start;
-        energy_.dma(1);
-        energy_.channelTransfer(cfg_.nand.pageBytes);
+        ctx_->result.internalDmBusy += x.end - x.start;
+        ctx_->energy.dma(1);
+        ctx_->energy.channelTransfer(cfg_.nand.pageBytes);
         ready = x.end;
     } else if (m.loc == Loc::Latch) {
         // Latch contents program directly from the page buffer.
         ready = earliest;
     }
     auto wr = ftl_.writePage(page, ready);
-    result_->internalDmBusy += wr.readyAt - ready;
-    energy_.flashProgram(1);
-    ++result_->coherenceCommits;
+    ctx_->result.internalDmBusy += wr.readyAt - ready;
+    ctx_->energy.flashProgram(1);
+    ++ctx_->result.coherenceCommits;
     m.loc = Loc::Flash;
     m.dirty = false;
     m.version = 0;
@@ -328,7 +339,7 @@ void
 Engine::recordWrite(Lpn page, Target target, std::uint32_t die,
                     Tick when)
 {
-    if (page >= pageMeta_.size())
+    if (page >= streamEnd())
         return;
     PageMeta &m = pageMeta_[page];
     if (m.version >= opts_.versionFlushThreshold) {
@@ -366,7 +377,7 @@ Engine::recordWrite(Lpn page, Target target, std::uint32_t die,
                 pageMeta_[victim].loc == Loc::Latch &&
                 pageMeta_[victim].dirty) {
                 commitPage(victim, when);
-                ++result_->latchEvictions;
+                ++ctx_->result.latchEvictions;
             }
         }
         break;
@@ -380,9 +391,12 @@ Engine::moveForIsp(const VecInstruction &instr, Tick earliest)
     MoveResult r;
     r.readyAt = earliest;
     const NandConfig &n = cfg_.nand;
+    const Lpn base = streamBase();
+    const Lpn limit = streamEnd();
     for (const auto &s : instr.srcs) {
-        for (Lpn p = s.basePage; p < s.basePage + s.pageCount; ++p) {
-            if (p >= pageMeta_.size())
+        for (Lpn p = base + s.basePage;
+             p < base + s.basePage + s.pageCount; ++p) {
+            if (p >= limit)
                 continue;
             PageMeta &m = pageMeta_[p];
             Tick end = earliest;
@@ -391,15 +405,15 @@ Engine::moveForIsp(const VecInstruction &instr, Tick earliest)
                 // core's load path; the IspCore streaming bound
                 // already covers this traffic, so only energy (not
                 // extra bus serialization) is charged here.
-                energy_.dramTransfer(n.pageBytes);
+                ctx_->energy.dramTransfer(n.pageBytes);
                 dramTouch(p, earliest);
             } else if (m.loc == Loc::Latch) {
                 const std::uint32_t ch =
                     m.latchDie / n.diesPerChannel;
                 auto iv = nand_.transferOut(ch, n.pageBytes, earliest);
-                energy_.dma(1);
-                energy_.channelTransfer(n.pageBytes);
-                result_->internalDmBusy += iv.end - iv.start;
+                ctx_->energy.dma(1);
+                ctx_->energy.channelTransfer(n.pageBytes);
+                ctx_->result.internalDmBusy += iv.end - iv.start;
                 end = iv.end;
             } else {
                 const Ppn ppn = ftl_.physicalOf(p);
@@ -407,11 +421,11 @@ Engine::moveForIsp(const VecInstruction &instr, Tick earliest)
                 auto rd = nand_.readPage(a, earliest);
                 auto iv =
                     nand_.transferOut(a.channel, n.pageBytes, rd.end);
-                energy_.flashRead(1);
-                energy_.dma(1);
-                energy_.channelTransfer(n.pageBytes);
-                result_->flashReadBusy += rd.end - rd.start;
-                result_->internalDmBusy += iv.end - iv.start;
+                ctx_->energy.flashRead(1);
+                ctx_->energy.dma(1);
+                ctx_->energy.channelTransfer(n.pageBytes);
+                ctx_->result.flashReadBusy += rd.end - rd.start;
+                ctx_->result.internalDmBusy += iv.end - iv.start;
                 m.dramCached = true; // staged via the DRAM buffer
                 dramTouch(p, earliest);
                 end = iv.end;
@@ -429,9 +443,12 @@ Engine::moveForPud(const VecInstruction &instr, Tick earliest)
     MoveResult r;
     r.readyAt = earliest;
     const NandConfig &n = cfg_.nand;
+    const Lpn base = streamBase();
+    const Lpn limit = streamEnd();
     for (const auto &s : instr.srcs) {
-        for (Lpn p = s.basePage; p < s.basePage + s.pageCount; ++p) {
-            if (p >= pageMeta_.size())
+        for (Lpn p = base + s.basePage;
+             p < base + s.basePage + s.pageCount; ++p) {
+            if (p >= limit)
                 continue;
             PageMeta &m = pageMeta_[p];
             if (m.loc == Loc::Dram || m.dramCached) {
@@ -445,10 +462,10 @@ Engine::moveForPud(const VecInstruction &instr, Tick earliest)
                 auto x = nand_.transferOut(ch, n.pageBytes, earliest);
                 auto w = dram_.access(static_cast<std::uint32_t>(p),
                                       n.pageBytes, x.end);
-                energy_.dma(1);
-                energy_.channelTransfer(n.pageBytes);
-                energy_.dramTransfer(n.pageBytes);
-                result_->internalDmBusy +=
+                ctx_->energy.dma(1);
+                ctx_->energy.channelTransfer(n.pageBytes);
+                ctx_->energy.dramTransfer(n.pageBytes);
+                ctx_->result.internalDmBusy +=
                     (x.end - x.start) + (w.end - w.start);
                 m.loc = Loc::Dram; // the fresh copy moves to DRAM
                 dramTouch(p, earliest);
@@ -461,12 +478,12 @@ Engine::moveForPud(const VecInstruction &instr, Tick earliest)
                                            rd.end);
                 auto w = dram_.access(static_cast<std::uint32_t>(p),
                                       n.pageBytes, x.end);
-                energy_.flashRead(1);
-                energy_.dma(1);
-                energy_.channelTransfer(n.pageBytes);
-                energy_.dramTransfer(n.pageBytes);
-                result_->flashReadBusy += rd.end - rd.start;
-                result_->internalDmBusy +=
+                ctx_->energy.flashRead(1);
+                ctx_->energy.dma(1);
+                ctx_->energy.channelTransfer(n.pageBytes);
+                ctx_->energy.dramTransfer(n.pageBytes);
+                ctx_->result.flashReadBusy += rd.end - rd.start;
+                ctx_->result.internalDmBusy +=
                     (x.end - x.start) + (w.end - w.start);
                 m.dramCached = true;
                 dramTouch(p, earliest);
@@ -485,9 +502,12 @@ Engine::moveForIfp(const VecInstruction &instr, Tick earliest)
     MoveResult r;
     r.readyAt = earliest;
     const NandConfig &n = cfg_.nand;
+    const Lpn base = streamBase();
+    const Lpn limit = streamEnd();
     for (const auto &s : instr.srcs) {
-        for (Lpn p = s.basePage; p < s.basePage + s.pageCount; ++p) {
-            if (p >= pageMeta_.size())
+        for (Lpn p = base + s.basePage;
+             p < base + s.basePage + s.pageCount; ++p) {
+            if (p >= limit)
                 continue;
             PageMeta &m = pageMeta_[p];
             if (m.loc == Loc::Dram) {
@@ -500,9 +520,9 @@ Engine::moveForIfp(const VecInstruction &instr, Tick earliest)
                     const FlashAddress a = nand_.decode(ppn);
                     auto x = nand_.transferIn(a.channel, n.pageBytes,
                                               earliest);
-                    energy_.dma(1);
-                    energy_.channelTransfer(n.pageBytes);
-                    result_->internalDmBusy += x.end - x.start;
+                    ctx_->energy.dma(1);
+                    ctx_->energy.channelTransfer(n.pageBytes);
+                    ctx_->result.internalDmBusy += x.end - x.start;
                     m.loc = Loc::Latch;
                     m.latchDie = nand_.dieIndex(a);
                     m.dramCached = false;
@@ -525,9 +545,12 @@ Engine::executeOn(const VecInstruction &instr, Target target,
                   Tick earliest)
 {
     const auto ti = static_cast<std::size_t>(target);
-    ++result_->perResource[ti];
+    RunResult &res = ctx_->result;
+    EnergyModel &energy = ctx_->energy;
+    ++res.perResource[ti];
+    const Lpn base = streamBase();
 
-    if (ideal_) {
+    if (ctx_->ideal) {
         // No contention, zero movement, table-latency compute; the
         // per-resource aggregate capacity is enforced in run().
         Tick comp = 0;
@@ -537,12 +560,12 @@ Engine::executeOn(const VecInstruction &instr, Target target,
                 instr.op, instr.elemBits, instr.lanes,
                 static_cast<std::uint32_t>(instr.srcs.size()),
                 instr.vectorized);
-            energy_.ispBusy(comp);
+            energy.ispBusy(comp);
             break;
           case Target::Pud:
             comp = pud_.estimate(instr.op, instr.elemBits, instr.lanes);
-            energy_.pudOp(pud_.rowsFor(instr.elemBits, instr.lanes) *
-                          pud_.bbopCount(instr.op, instr.elemBits));
+            energy.pudOp(pud_.rowsFor(instr.elemBits, instr.lanes) *
+                         pud_.bbopCount(instr.op, instr.elemBits));
             break;
           case Target::Ifp: {
             const auto frags = fragmentsFor(instr);
@@ -553,17 +576,18 @@ Engine::executeOn(const VecInstruction &instr, Target target,
                 instr.op, instr.elemBits,
                 static_cast<std::uint32_t>(instr.srcs.size()),
                 sensedOperands(instr), per_die);
-            energy_.ifpOp(instr.op, instr.srcBytes());
+            energy.ifpOp(instr.op, instr.srcBytes());
             break;
           }
         }
-        result_->computeBusy += comp;
-        idealBusy_[ti] += comp;
+        res.computeBusy += comp;
+        ctx_->idealBusy[ti] += comp;
         // Track result location (only) so operand-reuse effects such
         // as latch-resident IFP operands shape Ideal's choices.
-        for (Lpn p = instr.dst.basePage;
-             p < instr.dst.basePage + instr.dst.pageCount; ++p) {
-            if (p >= pageMeta_.size())
+        for (Lpn p = base + instr.dst.basePage;
+             p < base + instr.dst.basePage + instr.dst.pageCount;
+             ++p) {
+            if (p >= streamEnd())
                 continue;
             PageMeta &m = pageMeta_[p];
             m.loc = target == Target::Ifp ? Loc::Latch : Loc::Dram;
@@ -579,21 +603,21 @@ Engine::executeOn(const VecInstruction &instr, Target target,
             instr.op, instr.elemBits, instr.lanes,
             static_cast<std::uint32_t>(instr.srcs.size()),
             instr.vectorized, mv.readyAt);
-        energy_.ispBusy(iv.end - iv.start);
-        result_->computeBusy += iv.end - iv.start;
+        energy.ispBusy(iv.end - iv.start);
+        res.computeBusy += iv.end - iv.start;
         // Result streams into SSD DRAM.
         if (instr.dstBytes() > 0) {
             auto w = dram_.access(
-                static_cast<std::uint32_t>(instr.dst.basePage),
+                static_cast<std::uint32_t>(base + instr.dst.basePage),
                 instr.dstBytes(), iv.end);
-            energy_.dramTransfer(instr.dstBytes());
-            result_->internalDmBusy += w.end - w.start;
+            energy.dramTransfer(instr.dstBytes());
+            res.internalDmBusy += w.end - w.start;
             done = w.end;
         } else {
             done = iv.end;
         }
-        for (Lpn p = instr.dst.basePage;
-             p < instr.dst.basePage + instr.dst.pageCount; ++p)
+        for (Lpn p = base + instr.dst.basePage;
+             p < base + instr.dst.basePage + instr.dst.pageCount; ++p)
             recordWrite(p, Target::Isp, 0, done);
         break;
       }
@@ -601,13 +625,14 @@ Engine::executeOn(const VecInstruction &instr, Target target,
         auto mv = moveForPud(instr, earliest);
         auto iv = pud_.execute(
             instr.op, instr.elemBits, instr.lanes,
-            static_cast<std::uint32_t>(instr.dst.basePage), mv.readyAt);
-        energy_.pudOp(pud_.rowsFor(instr.elemBits, instr.lanes) *
-                      pud_.bbopCount(instr.op, instr.elemBits));
-        result_->computeBusy += iv.end - iv.start;
+            static_cast<std::uint32_t>(base + instr.dst.basePage),
+            mv.readyAt);
+        energy.pudOp(pud_.rowsFor(instr.elemBits, instr.lanes) *
+                     pud_.bbopCount(instr.op, instr.elemBits));
+        res.computeBusy += iv.end - iv.start;
         done = iv.end;
-        for (Lpn p = instr.dst.basePage;
-             p < instr.dst.basePage + instr.dst.pageCount; ++p)
+        for (Lpn p = base + instr.dst.basePage;
+             p < base + instr.dst.basePage + instr.dst.pageCount; ++p)
             recordWrite(p, Target::Pud, 0, done);
         break;
       }
@@ -637,12 +662,12 @@ Engine::executeOn(const VecInstruction &instr, Target target,
                 break;
             }
         }
-        energy_.ifpSense(sensings * frags.size());
-        energy_.ifpOp(instr.op, instr.srcBytes());
-        result_->computeBusy += iv.end - iv.start;
+        energy.ifpSense(sensings * frags.size());
+        energy.ifpOp(instr.op, instr.srcBytes());
+        res.computeBusy += iv.end - iv.start;
         done = iv.end;
-        for (Lpn p = instr.dst.basePage;
-             p < instr.dst.basePage + instr.dst.pageCount; ++p)
+        for (Lpn p = base + instr.dst.basePage;
+             p < base + instr.dst.basePage + instr.dst.pageCount; ++p)
             recordWrite(p, Target::Ifp, kAutoDie, done);
         break;
       }
@@ -650,13 +675,90 @@ Engine::executeOn(const VecInstruction &instr, Target target,
     return done;
 }
 
-Tick
-Engine::drainResults(Tick after)
+sched::DispatchOutcome
+Engine::dispatchNext(sched::ExecContext &ctx)
 {
+    ctx_ = &ctx;
+    const VecInstruction &instr = ctx.prog->instrs[ctx.pc];
+    ++ctx.pc;
+    RunResult &result = ctx.result;
+
+    // Offloader pipeline stage: the decision core issues one
+    // instruction per issue interval, while the full feature-
+    // collection latency (§4.5, ~3.77us average) is added to the
+    // instruction's dispatch latency (lookups overlap). The
+    // offloader is shared: co-run streams' dispatch events contend
+    // for issue slots FCFS.
+    Tick disp_start;
+    Tick now;
+    Tick next_dispatch = 0;
+    if (ctx.ideal) {
+        disp_start = 0;
+        now = 0;
+    } else {
+        const Tick ovh = offloadOverhead(instr, offloader_.freeAt());
+        auto disp = offloader_.acquire(0, cfg_.overhead.issueTicks);
+        result.offloaderBusy += ovh;
+        disp_start = disp.start;
+        now = disp.start + ovh;
+        next_dispatch = disp.end;
+    }
+
+    CostFeatures f = features(instr, now);
+    const Target target = ctx.policy->select(instr, f);
+    (void)transformer_.transform(instr, target);
+
+    // Operand availability (RAW) gates execution start.
+    Tick dep_ready = now;
+    for (InstrId d : instr.deps) {
+        if (d < ctx.completion.size())
+            dep_ready = std::max(dep_ready, ctx.completion[d]);
+    }
+
+    Tick done = executeOn(instr, target, dep_ready);
+
+    // Transient-fault injection: detection timeout, then replay
+    // on the general-purpose core with the latest data (§4.4).
+    if (opts_.transientFaultRate > 0.0 &&
+        rng_.chance(opts_.transientFaultRate)) {
+        ++result.faultsInjected;
+        const Tick retry_at = done + opts_.faultTimeout;
+        const Target alt =
+            target == Target::Isp ? Target::Pud : Target::Isp;
+        const Target replay_target =
+            (alt == Target::Pud && !pudSupports(instr.op))
+                ? Target::Isp
+                : alt;
+        done = executeOn(instr, replay_target, retry_at);
+        ++result.replays;
+    }
+
+    ctx.completion[instr.id] = done;
+    // Request latency: from the instruction becoming ready
+    // (dispatched and operands available) to completion — the
+    // per-request latency Fig. 8 reports tails over.
+    const Tick ready = std::max(disp_start, dep_ready);
+    result.latencyUs.add(ticksToUs(done > ready ? done - ready : 0));
+
+    if (opts_.recordTimeline) {
+        result.resourceTrace.push_back(
+            static_cast<std::uint8_t>(target));
+        result.opTrace.push_back(static_cast<std::uint8_t>(instr.op));
+        result.completionTrace.push_back(done);
+    }
+
+    ctx_ = nullptr;
+    return {next_dispatch, done};
+}
+
+Tick
+Engine::drainStream(sched::ExecContext &ctx, Tick after)
+{
+    ctx_ = &ctx;
     const NandConfig &n = cfg_.nand;
     Tick end = after;
     std::uint64_t pages = 0;
-    for (Lpn p = 0; p < pageMeta_.size(); ++p) {
+    for (Lpn p = ctx.base; p < ctx.base + ctx.pages; ++p) {
         PageMeta &m = pageMeta_[p];
         if (!m.dirty)
             continue;
@@ -664,20 +766,21 @@ Engine::drainResults(Tick after)
         if (m.loc == Loc::Latch) {
             const std::uint32_t ch = m.latchDie / n.diesPerChannel;
             auto x = nand_.transferOut(ch, n.pageBytes, after);
-            energy_.dma(1);
-            energy_.channelTransfer(n.pageBytes);
+            ctx.energy.dma(1);
+            ctx.energy.channelTransfer(n.pageBytes);
             src_ready = x.end;
         }
         auto iv = pcie_.acquire(
             src_ready,
             transferTicks(n.pageBytes, cfg_.host.pcieBytesPerSec));
-        energy_.dramTransfer(n.pageBytes);
-        result_->hostDmBusy += iv.end - iv.start;
+        ctx.energy.dramTransfer(n.pageBytes);
+        ctx.result.hostDmBusy += iv.end - iv.start;
         end = std::max(end, iv.end);
         m.dirty = false;
         ++pages;
     }
     stats_.counter("engine.drained_pages").inc(pages);
+    ctx_ = nullptr;
     return end;
 }
 
@@ -685,107 +788,128 @@ RunResult
 Engine::run(const Program &prog, OffloadPolicy &policy,
             const EngineOptions &opts)
 {
-    RunResult result;
-    result.workload = prog.name;
-    result.policy = policy.name();
-    result_ = &result;
-    ideal_ = policy.ideal();
+    // Non-owning aliases: the single-stream entry point borrows the
+    // caller's program and policy for the duration of the run.
+    std::vector<sched::StreamSpec> streams(1);
+    streams[0].program = std::shared_ptr<const Program>(
+        std::shared_ptr<const void>(), &prog);
+    streams[0].policy = std::shared_ptr<OffloadPolicy>(
+        std::shared_ptr<void>(), &policy);
+    sched::MultiRunResult mr = run(std::move(streams), opts);
+    return std::move(mr.streams.front());
+}
 
-    prepare(prog, opts);
+sched::MultiRunResult
+Engine::run(std::vector<sched::StreamSpec> streams,
+            const EngineOptions &opts)
+{
+    if (streams.empty())
+        throw std::invalid_argument("Engine: no streams to run");
 
-    Tick exec_end = 0;
-    for (const auto &instr : prog.instrs) {
-        // Offloader pipeline stage: the decision core issues one
-        // instruction per issue interval, while the full feature-
-        // collection latency (§4.5, ~3.77us average) is added to the
-        // instruction's dispatch latency (lookups overlap).
-        Tick disp_start;
-        Tick now;
-        if (ideal_) {
-            disp_start = 0;
-            now = 0;
-        } else {
-            const Tick ovh = offloadOverhead(instr, offloader_.freeAt());
-            auto disp =
-                offloader_.acquire(0, cfg_.overhead.issueTicks);
-            result.offloaderBusy += ovh;
-            disp_start = disp.start;
-            now = disp.start + ovh;
-        }
-
-        CostFeatures f = features(instr, now);
-        const Target target = policy.select(instr, f);
-        (void)transformer_.transform(instr, target);
-
-        // Operand availability (RAW) gates execution start.
-        Tick dep_ready = now;
-        for (InstrId d : instr.deps) {
-            if (d < completion_.size())
-                dep_ready = std::max(dep_ready, completion_[d]);
-        }
-
-        Tick done = executeOn(instr, target, dep_ready);
-
-        // Transient-fault injection: detection timeout, then replay
-        // on the general-purpose core with the latest data (§4.4).
-        if (opts.transientFaultRate > 0.0 &&
-            rng_.chance(opts.transientFaultRate)) {
-            ++result.faultsInjected;
-            const Tick retry_at = done + opts.faultTimeout;
-            const Target alt =
-                target == Target::Isp ? Target::Pud : Target::Isp;
-            const Target replay_target =
-                (alt == Target::Pud && !pudSupports(instr.op))
-                    ? Target::Isp
-                    : alt;
-            done = executeOn(instr, replay_target, retry_at);
-            ++result.replays;
-        }
-
-        completion_[instr.id] = done;
-        // Request latency: from the instruction becoming ready
-        // (dispatched and operands available) to completion — the
-        // per-request latency Fig. 8 reports tails over.
-        const Tick ready = std::max(disp_start, dep_ready);
-        result.latencyUs.add(
-            ticksToUs(done > ready ? done - ready : 0));
-        exec_end = std::max(exec_end, done);
-
-        if (opts.recordTimeline) {
-            result.resourceTrace.push_back(
-                static_cast<std::uint8_t>(target));
-            result.opTrace.push_back(
-                static_cast<std::uint8_t>(instr.op));
-            result.completionTrace.push_back(done);
-        }
+    // Lay streams out in disjoint logical-page regions, in spec
+    // order, and build their execution contexts. The contexts are
+    // kept alive on the engine after the run so post-run feature
+    // probes (features()) still see completion state — matching the
+    // pre-scheduler engine, whose completion vector persisted.
+    std::vector<sched::ExecContext> &ctxs = streamCtxs_;
+    ctx_ = nullptr;
+    ctxs.clear();
+    ctxs.reserve(streams.size());
+    std::uint64_t total_pages = 0;
+    for (const auto &s : streams) {
+        if (!s.program || !s.policy)
+            throw std::invalid_argument(
+                "Engine: StreamSpec needs a program and a policy");
+        ctxs.emplace_back(cfg_.energy);
+        sched::ExecContext &ctx = ctxs.back();
+        ctx.name = s.name.empty() ? s.program->name : s.name;
+        ctx.prog = s.program.get();
+        ctx.policy = s.policy.get();
+        ctx.ideal = s.policy->ideal();
+        ctx.base = total_pages;
+        ctx.pages = s.program->footprintPages;
+        total_pages += ctx.pages;
+        ctx.completion.assign(s.program->instrs.size(), 0);
+        ctx.result.workload = ctx.name;
+        ctx.result.policy = s.policy->name();
     }
 
-    if (ideal_) {
-        // "No resource contention" still cannot beat the aggregate
-        // capacity of each resource class: one controller core, all
-        // DRAM banks, all flash dies perfectly load-balanced.
-        exec_end = std::max(
-            exec_end,
-            idealBusy_[static_cast<std::size_t>(Target::Isp)]);
-        exec_end = std::max(
-            exec_end,
-            idealBusy_[static_cast<std::size_t>(Target::Pud)] /
-                dram_.numBanks());
-        exec_end = std::max(
-            exec_end,
-            idealBusy_[static_cast<std::size_t>(Target::Ifp)] /
-                nand_.numDies());
+    prepare(total_pages, opts);
+
+    EventQueue queue;
+    sched::StreamScheduler scheduler(*this, queue);
+    for (auto &ctx : ctxs)
+        scheduler.add(ctx);
+    scheduler.run();
+
+    sched::MultiRunResult mr;
+    mr.eventsFired = queue.eventsFired();
+    for (auto &ctx : ctxs) {
+        Tick end = ctx.execEnd;
+        if (ctx.ideal) {
+            // "No resource contention" still cannot beat the
+            // aggregate capacity of each resource class: one
+            // controller core, all DRAM banks, all flash dies
+            // perfectly load-balanced.
+            end = std::max(
+                end,
+                ctx.idealBusy[static_cast<std::size_t>(Target::Isp)]);
+            end = std::max(
+                end,
+                ctx.idealBusy[static_cast<std::size_t>(Target::Pud)] /
+                    dram_.numBanks());
+            end = std::max(
+                end,
+                ctx.idealBusy[static_cast<std::size_t>(Target::Ifp)] /
+                    nand_.numDies());
+        } else if (opts.drainResults) {
+            end = drainStream(ctx, end);
+        }
+        ctx.result.instrCount = ctx.prog->instrs.size();
+        ctx.result.execTime = end;
+        ctx.result.dmEnergyJ = ctx.energy.dataMovementJ();
+        ctx.result.computeEnergyJ = ctx.energy.computeJ();
+        mr.makespan = std::max(mr.makespan, end);
+        mr.streams.push_back(std::move(ctx.result));
     }
 
-    if (opts.drainResults && !ideal_)
-        exec_end = drainResults(exec_end);
-
-    result.instrCount = prog.instrs.size();
-    result.execTime = exec_end;
-    result.dmEnergyJ = energy_.dataMovementJ();
-    result.computeEnergyJ = energy_.computeJ();
-    result_ = nullptr;
-    return result;
+    // Device-level aggregate across tenants.
+    RunResult &agg = mr.aggregate;
+    for (const RunResult &r : mr.streams) {
+        if (!agg.workload.empty()) {
+            agg.workload += "+";
+            agg.policy += "+";
+        }
+        agg.workload += r.workload;
+        agg.policy += r.policy;
+        agg.instrCount += r.instrCount;
+        for (std::size_t i = 0; i < kNumTargets; ++i)
+            agg.perResource[i] += r.perResource[i];
+        agg.latencyUs.merge(r.latencyUs);
+        agg.dmEnergyJ += r.dmEnergyJ;
+        agg.computeEnergyJ += r.computeEnergyJ;
+        agg.computeBusy += r.computeBusy;
+        agg.internalDmBusy += r.internalDmBusy;
+        agg.flashReadBusy += r.flashReadBusy;
+        agg.hostDmBusy += r.hostDmBusy;
+        agg.offloaderBusy += r.offloaderBusy;
+        agg.faultsInjected += r.faultsInjected;
+        agg.replays += r.replays;
+        agg.coherenceCommits += r.coherenceCommits;
+        agg.latchEvictions += r.latchEvictions;
+    }
+    agg.execTime = mr.makespan;
+    // Leave the first stream active so external feature probes
+    // address pages and dependence state exactly as that stream's
+    // dispatches did (single-stream: the whole device). The program
+    // and policy are borrowed from the caller and may die with this
+    // call — null the borrows so nothing can dereference them later.
+    for (auto &ctx : ctxs) {
+        ctx.prog = nullptr;
+        ctx.policy = nullptr;
+    }
+    ctx_ = &ctxs.front();
+    return mr;
 }
 
 } // namespace conduit

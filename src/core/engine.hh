@@ -2,8 +2,9 @@
  * @file
  * The Conduit runtime engine (§4.3.2, §4.4).
  *
- * Executes a vectorized program on the simulated SSD under a given
- * offloading policy. Per instruction, the engine:
+ * Executes one or more vectorized programs ("streams", tenants) on
+ * the simulated SSD under per-stream offloading policies. Per
+ * instruction, the engine:
  *
  *  1. services the offloader pipeline stage (feature collection +
  *     instruction transformation, charged per §4.5 on a dedicated
@@ -18,6 +19,18 @@
  *     reservation calendars, and
  *  5. records completion, energy, and trace data.
  *
+ * Execution is event-driven: a sched::StreamScheduler sequences the
+ * dispatch pipeline of every stream as events on an EventQueue, and
+ * the engine implements sched::StreamDispatcher to run one
+ * instruction's pipeline per dispatch event. With a single stream the
+ * event chain degenerates to the exact call sequence of a serial
+ * instruction loop, so single-stream results are byte-identical to
+ * the pre-scheduler engine. With N streams, the queue interleaves
+ * dispatches across tenants in simulated-time order, and the
+ * CostFeatures queue/bandwidth terms — live reads of the shared
+ * Server/ServerGroup calendars — automatically expose cross-tenant
+ * contention to every policy.
+ *
  * The Ideal mode (§5.3) bypasses movement, queueing and overheads,
  * providing the unrealizable upper bound.
  */
@@ -25,7 +38,6 @@
 #ifndef CONDUIT_CORE_ENGINE_HH
 #define CONDUIT_CORE_ENGINE_HH
 
-#include <array>
 #include <cstdint>
 #include <deque>
 #include <list>
@@ -34,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/run_result.hh"
 #include "src/core/transformer.hh"
 #include "src/dram/dram.hh"
 #include "src/dram/pud_unit.hh"
@@ -44,6 +57,8 @@
 #include "src/nand/ifp_unit.hh"
 #include "src/nand/nand.hh"
 #include "src/offload/policy.hh"
+#include "src/sched/exec_context.hh"
+#include "src/sched/stream_scheduler.hh"
 #include "src/sim/config.hh"
 #include "src/sim/rng.hh"
 #include "src/sim/stats.hh"
@@ -54,97 +69,42 @@ namespace conduit
 /** Sentinel: let recordWrite derive the latch die per page. */
 constexpr std::uint32_t kAutoDie = ~0U;
 
-/** Engine run options. */
-struct EngineOptions
-{
-    /** Record per-instruction target/op traces (Fig. 10). */
-    bool recordTimeline = false;
-
-    /** Probability of a transient fault per executed instruction. */
-    double transientFaultRate = 0.0;
-
-    /** Detection timeout charged when a transient fault hits. */
-    Tick faultTimeout = usToTicks(50);
-
-    /** Coherence version-counter flush threshold (§4.4). */
-    std::uint8_t versionFlushThreshold = 255;
-
-    /**
-     * Per-die page-buffer latch capacity in pages: planes x the
-     * S/D/cache latch planes Ares-Flash exposes per plane. Results
-     * beyond this spill to the array via SLC programming.
-     */
-    std::uint32_t latchPagesPerDie = 16;
-
-    /** Drain dirty result pages to the host when the run ends. */
-    bool drainResults = true;
-
-    /**
-     * SSD-DRAM staging capacity as a fraction of the workload
-     * footprint. The default is effectively unbounded (the SSD DRAM
-     * data region holds gigabytes, far beyond the scaled working
-     * sets simulated here); lowering it forces capacity-driven
-     * writebacks for the DRAM-pressure ablation.
-     */
-    double dramStagingFraction = 4.0;
-
-    /**
-     * Mapping-cache coverage as a fraction of the footprint's L2P
-     * entries (demand-based DFTL cache, §5.1).
-     */
-    double mappingCacheFraction = 1.0;
-};
-
-/** Everything a run produces. */
-struct RunResult
-{
-    std::string workload;
-    std::string policy;
-
-    Tick execTime = 0;
-    std::uint64_t instrCount = 0;
-    std::array<std::uint64_t, kNumTargets> perResource{};
-
-    /** Per-instruction latency (dispatch to completion), in us. */
-    Histogram latencyUs;
-
-    double dmEnergyJ = 0.0;
-    double computeEnergyJ = 0.0;
-    double energyJ() const { return dmEnergyJ + computeEnergyJ; }
-
-    /** @name Attributed busy time (Fig. 4 breakdown inputs) @{ */
-    Tick computeBusy = 0;
-    Tick internalDmBusy = 0;
-    Tick flashReadBusy = 0;
-    Tick hostDmBusy = 0;
-    Tick offloaderBusy = 0;
-    /** @} */
-
-    std::uint64_t faultsInjected = 0;
-    std::uint64_t replays = 0;
-    std::uint64_t coherenceCommits = 0;
-    std::uint64_t latchEvictions = 0;
-
-    /** Per-instruction traces (only with recordTimeline). */
-    std::vector<std::uint8_t> resourceTrace;
-    std::vector<std::uint8_t> opTrace;
-    std::vector<Tick> completionTrace;
-};
-
 /**
- * The runtime engine. One Engine instance executes one run over a
- * fresh simulated SSD.
+ * The runtime engine. One Engine instance executes one run — single-
+ * or multi-stream — over a fresh simulated SSD.
  */
-class Engine
+class Engine : public sched::StreamDispatcher
 {
   public:
     explicit Engine(const SsdConfig &cfg);
 
-    /** Execute @p prog under @p policy. */
+    /** Execute @p prog under @p policy (single-stream). */
     RunResult run(const Program &prog, OffloadPolicy &policy,
                   const EngineOptions &opts = {});
 
-    /** Feature vector for @p instr at time @p now (testable). */
+    /**
+     * Execute N streams concurrently on this one simulated SSD.
+     *
+     * Streams are laid out in disjoint logical-page regions (in spec
+     * order) and co-scheduled by a StreamScheduler on one event
+     * queue; they contend for every shared device resource. Results
+     * come back in spec order, plus a device-level aggregate.
+     *
+     * Deterministic: repeat runs with equal specs produce identical
+     * results, and a one-stream call matches the single-stream
+     * overload exactly.
+     */
+    sched::MultiRunResult run(std::vector<sched::StreamSpec> streams,
+                              const EngineOptions &opts = {});
+
+    /**
+     * Feature vector for @p instr at time @p now (testable). The
+     * queue/bandwidth terms are live views of the shared resource
+     * calendars; during a multi-stream run they include every other
+     * tenant's outstanding reservations. After a run, probes are
+     * evaluated in the first stream's context (page region and
+     * completion state), matching the pre-scheduler engine.
+     */
     CostFeatures features(const VecInstruction &instr, Tick now);
 
     /** Access to substrate stats after a run. */
@@ -171,7 +131,14 @@ class Engine
         std::uint64_t bytesMoved = 0;
     };
 
-    void prepare(const Program &prog, const EngineOptions &opts);
+    /**
+     * One dispatch-pipeline step for @p ctx's next instruction:
+     * offloader stage, decision, movement, reservation, recording.
+     * Invoked by the StreamScheduler per dispatch event.
+     */
+    sched::DispatchOutcome dispatchNext(sched::ExecContext &ctx) override;
+
+    void prepare(std::uint64_t total_pages, const EngineOptions &opts);
 
     Tick offloadOverhead(const VecInstruction &instr, Tick now);
 
@@ -209,10 +176,32 @@ class Engine
     Tick executeOn(const VecInstruction &instr, Target target,
                    Tick earliest);
 
-    /** Final result drain to the host over PCIe (§4.4 trigger ii). */
-    Tick drainResults(Tick after);
+    /**
+     * Final result drain for one stream's page region, to the host
+     * over PCIe (§4.4 trigger ii). The PCIe link is shared: drains
+     * of co-run streams serialize on its calendar.
+     */
+    Tick drainStream(sched::ExecContext &ctx, Tick after);
 
     PageMeta &meta(Lpn page) { return pageMeta_.at(page); }
+
+    /** @name Active-stream page addressing @{ */
+
+    /** First absolute LPN of the dispatching stream's region. */
+    Lpn
+    streamBase() const
+    {
+        return ctx_ ? static_cast<Lpn>(ctx_->base) : 0;
+    }
+
+    /** One-past-last absolute LPN of the dispatching stream. */
+    Lpn
+    streamEnd() const
+    {
+        return ctx_ ? static_cast<Lpn>(ctx_->base + ctx_->pages)
+                    : static_cast<Lpn>(pageMeta_.size());
+    }
+    /** @} */
 
     SsdConfig cfg_;
     StatSet stats_;
@@ -222,7 +211,6 @@ class Engine
     PudUnit pud_;
     IspCore isp_;
     IfpUnit ifp_;
-    EnergyModel energy_;
     InstructionTransformer transformer_;
     Rng rng_;
 
@@ -231,15 +219,24 @@ class Engine
 
     EngineOptions opts_;
     std::vector<PageMeta> pageMeta_;
-    std::vector<Tick> completion_;
     std::vector<std::deque<Lpn>> latchFifo_; // per die
-    RunResult *result_ = nullptr;
-    bool ideal_ = false;
 
-    /** Aggregate per-resource compute time in Ideal mode. */
-    std::array<Tick, kNumTargets> idealBusy_{};
+    /**
+     * The run's execution contexts, in stream order; kept after the
+     * run so feature probes can consult completion state.
+     */
+    std::vector<sched::ExecContext> streamCtxs_;
 
-    // DRAM staging region LRU (capacity-limited page residency).
+    /**
+     * Stream whose dispatch (or drain) is currently being serviced;
+     * movement/coherence helpers attribute results, energy, and page
+     * addressing through it. Between dispatches it is null; after a
+     * completed run it points at the first stream (feature probes).
+     */
+    sched::ExecContext *ctx_ = nullptr;
+
+    // DRAM staging region LRU (capacity-limited page residency,
+    // shared by all streams — capacity pressure is device-wide).
     std::uint64_t dramCapacityPages_ = 0;
     std::list<Lpn> dramLru_;
     std::unordered_map<Lpn, std::list<Lpn>::iterator> dramPos_;

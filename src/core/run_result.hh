@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Engine run options and per-run results.
+ *
+ * Split out of engine.hh so the scheduler subsystem (src/sched/) can
+ * describe per-stream execution state without depending on the full
+ * Engine definition: an ExecContext owns a RunResult, and the Engine
+ * owns ExecContexts.
+ */
+
+#ifndef CONDUIT_CORE_RUN_RESULT_HH
+#define CONDUIT_CORE_RUN_RESULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/offload/policy.hh"
+#include "src/sim/stats.hh"
+#include "src/sim/types.hh"
+
+namespace conduit
+{
+
+/** Engine run options (device-wide; shared by all co-run streams). */
+struct EngineOptions
+{
+    /** Record per-instruction target/op traces (Fig. 10). */
+    bool recordTimeline = false;
+
+    /** Probability of a transient fault per executed instruction. */
+    double transientFaultRate = 0.0;
+
+    /** Detection timeout charged when a transient fault hits. */
+    Tick faultTimeout = usToTicks(50);
+
+    /** Coherence version-counter flush threshold (§4.4). */
+    std::uint8_t versionFlushThreshold = 255;
+
+    /**
+     * Per-die page-buffer latch capacity in pages: planes x the
+     * S/D/cache latch planes Ares-Flash exposes per plane. Results
+     * beyond this spill to the array via SLC programming.
+     */
+    std::uint32_t latchPagesPerDie = 16;
+
+    /** Drain dirty result pages to the host when the run ends. */
+    bool drainResults = true;
+
+    /**
+     * SSD-DRAM staging capacity as a fraction of the workload
+     * footprint. The default is effectively unbounded (the SSD DRAM
+     * data region holds gigabytes, far beyond the scaled working
+     * sets simulated here); lowering it forces capacity-driven
+     * writebacks for the DRAM-pressure ablation.
+     */
+    double dramStagingFraction = 4.0;
+
+    /**
+     * Mapping-cache coverage as a fraction of the footprint's L2P
+     * entries (demand-based DFTL cache, §5.1).
+     */
+    double mappingCacheFraction = 1.0;
+};
+
+/** Everything a run (one instruction stream) produces. */
+struct RunResult
+{
+    std::string workload;
+    std::string policy;
+
+    Tick execTime = 0;
+    std::uint64_t instrCount = 0;
+    std::array<std::uint64_t, kNumTargets> perResource{};
+
+    /** Per-instruction latency (dispatch to completion), in us. */
+    Histogram latencyUs;
+
+    double dmEnergyJ = 0.0;
+    double computeEnergyJ = 0.0;
+    double energyJ() const { return dmEnergyJ + computeEnergyJ; }
+
+    /** @name Attributed busy time (Fig. 4 breakdown inputs) @{ */
+    Tick computeBusy = 0;
+    Tick internalDmBusy = 0;
+    Tick flashReadBusy = 0;
+    Tick hostDmBusy = 0;
+    Tick offloaderBusy = 0;
+    /** @} */
+
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t replays = 0;
+    std::uint64_t coherenceCommits = 0;
+    std::uint64_t latchEvictions = 0;
+
+    /** Per-instruction traces (only with recordTimeline). */
+    std::vector<std::uint8_t> resourceTrace;
+    std::vector<std::uint8_t> opTrace;
+    std::vector<Tick> completionTrace;
+};
+
+} // namespace conduit
+
+#endif // CONDUIT_CORE_RUN_RESULT_HH

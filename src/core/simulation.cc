@@ -68,6 +68,34 @@ Simulation::runProgram(const Program &prog, OffloadPolicy &policy)
     return engine.run(prog, policy, opts_.engine);
 }
 
+sched::MultiRunResult
+Simulation::runMulti(const std::vector<Tenant> &tenants)
+{
+    std::vector<sched::StreamSpec> streams;
+    streams.reserve(tenants.size());
+    for (const Tenant &t : tenants) {
+        sched::StreamSpec s;
+        const VectorizedProgram &vp = compile(t.id);
+        // Alias the cached program: the cache entry lives as long as
+        // this Simulation, well beyond the run.
+        s.program = std::shared_ptr<const Program>(
+            std::shared_ptr<const void>(), &vp.program);
+        s.policy = makePolicy(t.policy);
+        s.name = workloadName(t.id);
+        streams.push_back(std::move(s));
+    }
+    return runStreams(std::move(streams));
+}
+
+sched::MultiRunResult
+Simulation::runStreams(std::vector<sched::StreamSpec> streams)
+{
+    // Fresh engine (fresh device state) per run, as in the paper's
+    // methodology.
+    Engine engine(opts_.config);
+    return engine.run(std::move(streams), opts_.engine);
+}
+
 RunResult
 Simulation::runHost(WorkloadId id, bool gpu)
 {

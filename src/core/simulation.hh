@@ -73,6 +73,26 @@ class Simulation
     /** Run a pre-compiled program under a policy. */
     RunResult runProgram(const Program &prog, OffloadPolicy &policy);
 
+    /** One tenant of a multi-stream run: workload + policy name. */
+    struct Tenant
+    {
+        WorkloadId id;
+        std::string policy;
+    };
+
+    /**
+     * Co-run several tenants concurrently on ONE simulated SSD (the
+     * event-driven multi-stream engine): each tenant's instruction
+     * stream executes under its own policy while all streams contend
+     * for the shared device. Returns per-stream results in tenant
+     * order plus the device aggregate.
+     */
+    sched::MultiRunResult runMulti(const std::vector<Tenant> &tenants);
+
+    /** Multi-stream run over explicit stream specs. */
+    sched::MultiRunResult
+    runStreams(std::vector<sched::StreamSpec> streams);
+
     /** Host baseline ("CPU" or "GPU") for a workload. */
     RunResult runHost(WorkloadId id, bool gpu);
 

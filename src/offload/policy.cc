@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace conduit
 {
@@ -154,26 +155,74 @@ AresFlashPolicy::select(const VecInstruction &instr, const CostFeatures &f)
         : Target::Isp;
 }
 
+namespace
+{
+
+/**
+ * Single source of truth for the policy registry: makePolicy() and
+ * policyNames() both read this table, so a new policy registers its
+ * name and factory in one place. Evaluation order.
+ */
+using PolicyFactoryFn = std::unique_ptr<OffloadPolicy> (*)();
+
+const std::vector<std::pair<std::string, PolicyFactoryFn>> &
+policyTable()
+{
+    static const std::vector<std::pair<std::string, PolicyFactoryFn>>
+        table = {
+            {"ISP", [] { return std::unique_ptr<OffloadPolicy>(
+                             std::make_unique<IspOnlyPolicy>()); }},
+            {"PuD-SSD", [] { return std::unique_ptr<OffloadPolicy>(
+                                 std::make_unique<PudOnlyPolicy>()); }},
+            {"Flash-Cosmos",
+             [] { return std::unique_ptr<OffloadPolicy>(
+                      std::make_unique<FlashCosmosPolicy>()); }},
+            {"Ares-Flash",
+             [] { return std::unique_ptr<OffloadPolicy>(
+                      std::make_unique<AresFlashPolicy>()); }},
+            {"BW-Offloading",
+             [] { return std::unique_ptr<OffloadPolicy>(
+                      std::make_unique<BwOffloadPolicy>()); }},
+            {"DM-Offloading",
+             [] { return std::unique_ptr<OffloadPolicy>(
+                      std::make_unique<DmOffloadPolicy>()); }},
+            {"Conduit", [] { return std::unique_ptr<OffloadPolicy>(
+                                 std::make_unique<ConduitPolicy>()); }},
+            {"Ideal", [] { return std::unique_ptr<OffloadPolicy>(
+                               std::make_unique<IdealPolicy>()); }},
+        };
+    return table;
+}
+
+} // namespace
+
 std::unique_ptr<OffloadPolicy>
 makePolicy(const std::string &name)
 {
-    if (name == "Conduit")
-        return std::make_unique<ConduitPolicy>();
-    if (name == "DM-Offloading")
-        return std::make_unique<DmOffloadPolicy>();
-    if (name == "BW-Offloading")
-        return std::make_unique<BwOffloadPolicy>();
-    if (name == "Ideal")
-        return std::make_unique<IdealPolicy>();
-    if (name == "ISP")
-        return std::make_unique<IspOnlyPolicy>();
-    if (name == "PuD-SSD")
-        return std::make_unique<PudOnlyPolicy>();
-    if (name == "Flash-Cosmos")
-        return std::make_unique<FlashCosmosPolicy>();
-    if (name == "Ares-Flash")
-        return std::make_unique<AresFlashPolicy>();
-    throw std::invalid_argument("makePolicy: unknown policy " + name);
+    for (const auto &[label, make] : policyTable()) {
+        if (label == name)
+            return make();
+    }
+    std::string known;
+    for (const auto &n : policyNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += n;
+    }
+    throw std::invalid_argument("makePolicy: unknown policy '" + name +
+                                "'; known policies: " + known);
+}
+
+const std::vector<std::string> &
+policyNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n;
+        for (const auto &entry : policyTable())
+            n.push_back(entry.first);
+        return n;
+    }();
+    return names;
 }
 
 } // namespace conduit

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/ir/instruction.hh"
 #include "src/sim/types.hh"
@@ -204,6 +205,9 @@ class AresFlashPolicy : public OffloadPolicy
 
 /** Factory by display name (used by benches/examples). */
 std::unique_ptr<OffloadPolicy> makePolicy(const std::string &name);
+
+/** Every display name makePolicy() accepts, in evaluation order. */
+const std::vector<std::string> &policyNames();
 
 } // namespace conduit
 

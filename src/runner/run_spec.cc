@@ -1,7 +1,9 @@
 #include "src/runner/run_spec.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 namespace conduit::runner
 {
@@ -22,6 +24,41 @@ splitCsv(const std::string &csv)
     return out;
 }
 
+std::string
+joinLabels(const std::vector<std::string> &labels)
+{
+    std::string joined;
+    for (const auto &l : labels) {
+        if (!joined.empty())
+            joined += ", ";
+        joined += l;
+    }
+    return joined;
+}
+
+const std::string *
+findUnknown(const std::vector<std::string> &filter,
+            const std::vector<std::string> &labels)
+{
+    for (const auto &f : filter) {
+        if (std::find(labels.begin(), labels.end(), f) == labels.end())
+            return &f;
+    }
+    return nullptr;
+}
+
+bool
+reportUnknown(const std::vector<std::string> &filter,
+              const std::vector<std::string> &labels, const char *axis)
+{
+    const std::string *f = findUnknown(filter, labels);
+    if (!f)
+        return true;
+    std::fprintf(stderr, "unknown %s '%s'; accepted: %s\n", axis,
+                 f->c_str(), joinLabels(labels).c_str());
+    return false;
+}
+
 namespace
 {
 
@@ -30,6 +67,22 @@ keeps(const std::vector<std::string> &filter, const std::string &label)
 {
     return filter.empty() ||
         std::find(filter.begin(), filter.end(), label) != filter.end();
+}
+
+/**
+ * Reject filter entries naming no axis label: a typo would otherwise
+ * silently drop rows/columns. The error lists what this matrix
+ * accepts (mirroring --list-workloads / --list-techniques).
+ */
+void
+validateFilter(const std::vector<std::string> &filter,
+               const std::vector<std::string> &labels,
+               const char *axis)
+{
+    if (const std::string *f = findUnknown(filter, labels))
+        throw std::invalid_argument(std::string("RunMatrix: unknown ") +
+                                    axis + " '" + *f +
+                                    "'; accepted: " + joinLabels(labels));
 }
 
 } // namespace
@@ -129,9 +182,34 @@ RunMatrix::add(RunSpec spec)
     return *this;
 }
 
+std::vector<std::string>
+RunMatrix::workloadLabels() const
+{
+    std::vector<std::string> labels;
+    for (const auto &w : workloads_)
+        labels.push_back(w.label);
+    for (const auto &e : extras_)
+        labels.push_back(e.workload);
+    return labels;
+}
+
+std::vector<std::string>
+RunMatrix::techniqueLabels() const
+{
+    std::vector<std::string> labels;
+    for (const auto &t : techniques_)
+        labels.push_back(t.label);
+    for (const auto &e : extras_)
+        labels.push_back(e.technique);
+    return labels;
+}
+
 std::vector<RunSpec>
 RunMatrix::build() const
 {
+    validateFilter(workloadFilter_, workloadLabels(), "workload");
+    validateFilter(techniqueFilter_, techniqueLabels(), "technique");
+
     std::vector<RunSpec> specs;
     for (const auto &w : workloads_) {
         if (!keeps(workloadFilter_, w.label))

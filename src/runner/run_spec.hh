@@ -36,6 +36,22 @@ enum class HostKind { None, Cpu, Gpu };
 /** Split a comma-separated filter list into trimmed labels. */
 std::vector<std::string> splitCsv(const std::string &csv);
 
+/** Comma-join labels for "accepted: …" error messages. */
+std::string joinLabels(const std::vector<std::string> &labels);
+
+/** First @p filter entry naming no @p labels entry, or nullptr. */
+const std::string *findUnknown(const std::vector<std::string> &filter,
+                               const std::vector<std::string> &labels);
+
+/**
+ * CLI-grade filter validation: report the first @p filter entry
+ * naming no @p labels entry to stderr ("unknown <axis> '…';
+ * accepted: …") and return false; true when every entry is known.
+ */
+bool reportUnknown(const std::vector<std::string> &filter,
+                   const std::vector<std::string> &labels,
+                   const char *axis);
+
 /**
  * The device every sweep runs on unless overridden: the Table 2
  * geometry scaled for seconds-long benches, matching SimOptions'
@@ -94,6 +110,53 @@ struct RunSpec
 };
 
 /**
+ * One tenant stream of a multi-stream cell: which workload it runs
+ * and under which policy. Host baselines do not apply — streams
+ * execute on the SSD engine by definition.
+ */
+struct StreamSlot
+{
+    /** Stream label; defaults to the workload's display name. */
+    std::string workload;
+
+    /** Policy name resolved via makePolicy() unless @ref policy. */
+    std::string technique;
+
+    /** Workload to build and compile (via the shared cache). */
+    std::optional<WorkloadId> workloadId;
+
+    /** Pre-compiled program overriding @ref workloadId. */
+    std::shared_ptr<const Program> program;
+
+    /** Custom policy constructor overriding makePolicy(technique). */
+    PolicyFactory policy;
+};
+
+/**
+ * One multi-tenant cell: N streams co-running on one simulated SSD.
+ * The whole cell is a single deterministic engine run; cells are
+ * independent of each other, so a set of them can be swept across
+ * worker threads exactly like single-stream RunSpecs.
+ */
+struct MultiRunSpec
+{
+    /** Cell label for reporting (e.g. "AES+jacobi-1d"). */
+    std::string label;
+
+    /** Device configuration the tenants share. */
+    SsdConfig config = defaultSweepConfig();
+
+    /** Engine options (device-wide) for this cell. */
+    EngineOptions engine;
+
+    /** Workload-generator knobs shared by the streams. */
+    WorkloadParams params;
+
+    /** The co-running tenants, in result order. */
+    std::vector<StreamSlot> streams;
+};
+
+/**
  * Builder crossing workload and technique axes into RunSpecs.
  *
  * Axis order is preserved: build() emits workload-major rows in the
@@ -133,6 +196,11 @@ class RunMatrix
 
     /** Append a fully explicit spec (bypasses the cross product). */
     RunMatrix &add(RunSpec spec);
+
+    /** @name Axis labels (including extras), in axis order @{ */
+    std::vector<std::string> workloadLabels() const;
+    std::vector<std::string> techniqueLabels() const;
+    /** @} */
 
     /** Cross product (workload-major), then explicit extras. */
     std::vector<RunSpec> build() const;

@@ -18,7 +18,8 @@ usage(const char *prog, int code)
     std::fprintf(
         stderr,
         "usage: %s [--threads N] [--scale X] [--workloads a,b]\n"
-        "          [--techniques a,b] [--csv PATH] [--json PATH]\n",
+        "          [--techniques a,b] [--csv PATH] [--json PATH]\n"
+        "          [--list-workloads] [--list-techniques]\n",
         prog);
     std::exit(code);
 }
@@ -77,6 +78,10 @@ SweepCli::parse(int argc, char **argv)
         };
         if (arg == "--help" || arg == "-h")
             usage(argv[0], 0);
+        else if (arg == "--list-workloads")
+            cli.listWorkloads = true;
+        else if (arg == "--list-techniques")
+            cli.listTechniques = true;
         else if (arg == "--threads")
             cli.threads = parseUnsigned(argv[0], arg, value());
         else if (arg == "--scale")
@@ -99,12 +104,34 @@ SweepCli::parse(int argc, char **argv)
 }
 
 void
+listAndExit(const std::vector<std::string> &labels)
+{
+    std::vector<std::string> seen;
+    for (const auto &l : labels) {
+        if (std::find(seen.begin(), seen.end(), l) != seen.end())
+            continue;
+        seen.push_back(l);
+        std::printf("%s\n", l.c_str());
+    }
+    std::exit(0);
+}
+
+void
 SweepCli::configure(RunMatrix &matrix,
                     const std::string &baseline) const
 {
+    if (listWorkloads)
+        listAndExit(matrix.workloadLabels());
+    if (listTechniques)
+        listAndExit(matrix.techniqueLabels());
     WorkloadParams p;
     p.scale = scale;
     matrix.params(p);
+    if (!reportUnknown(splitCsv(workloadFilter),
+                       matrix.workloadLabels(), "workload") ||
+        !reportUnknown(splitCsv(techniqueFilter),
+                       matrix.techniqueLabels(), "technique"))
+        std::exit(2);
     matrix.filterWorkloads(workloadFilter);
     std::string techniques = techniqueFilter;
     if (!techniques.empty() && !baseline.empty()) {

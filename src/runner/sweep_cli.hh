@@ -10,6 +10,8 @@
  *   --techniques a,b   keep only the named technique columns
  *   --csv PATH         write machine-readable rows as CSV
  *   --json PATH        write machine-readable rows as JSON
+ *   --list-workloads   print the workload names --workloads accepts
+ *   --list-techniques  print the technique names --techniques accepts
  *
  * Sweep timing goes to stderr so stdout stays byte-identical across
  * thread counts (the reproducibility contract tests rely on).
@@ -34,6 +36,15 @@ struct SweepCli
     std::string techniqueFilter;
     std::string csvPath;
     std::string jsonPath;
+
+    /**
+     * --list-workloads / --list-techniques: defer the listing until
+     * the bench's matrix exists so the printed names are exactly the
+     * labels its filters accept (custom axes included). configure()
+     * services them; matrix-less benches call listAndExit directly.
+     */
+    bool listWorkloads = false;
+    bool listTechniques = false;
 
     /**
      * Parse argv; prints usage and exits on --help or bad flags.
@@ -63,6 +74,10 @@ struct SweepCli
      */
     int finish(const SweepResult &sweep) const;
 };
+
+/** Print @p labels one per line (deduplicated, in order), exit 0. */
+[[noreturn]] void
+listAndExit(const std::vector<std::string> &labels);
 
 } // namespace conduit::runner
 

@@ -12,7 +12,65 @@
 namespace conduit::runner
 {
 
+namespace
+{
+
+/**
+ * Index-parallel for over [0, n) on @p threads workers (pre-clamped
+ * via SweepRunner::workerCount): workers pull the next unclaimed
+ * index, so each body(i) runs exactly once and output order never
+ * depends on scheduling. Exceptions are captured per index and the
+ * lowest-index one rethrown after the pool drains.
+ */
+template <typename Body>
+void
+parallelFor(unsigned threads, std::size_t n, const Body &body)
+{
+    std::vector<std::exception_ptr> errors(n);
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    for (std::size_t i = 0; i < n; ++i)
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+}
+
+} // namespace
+
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}
+
+unsigned
+SweepRunner::workerCount(std::size_t jobs) const
+{
+    unsigned threads = opts_.threads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    return static_cast<unsigned>(
+        std::min<std::size_t>(threads, std::max<std::size_t>(jobs, 1)));
+}
 
 RunResult
 SweepRunner::runOne(const RunSpec &spec)
@@ -67,51 +125,77 @@ SweepRunner::runOne(const RunSpec &spec)
     return r;
 }
 
+sched::MultiRunResult
+SweepRunner::runMulti(const MultiRunSpec &spec)
+{
+    if (spec.streams.empty())
+        throw std::invalid_argument(
+            "MultiRunSpec has no streams: " + spec.label);
+    std::vector<sched::StreamSpec> streams;
+    streams.reserve(spec.streams.size());
+    for (const StreamSlot &slot : spec.streams) {
+        if (slot.technique == "CPU" || slot.technique == "GPU")
+            throw std::invalid_argument(
+                "multi-stream cells run on the SSD engine; host "
+                "baseline '" + slot.technique +
+                "' cannot be a stream: " + spec.label);
+        sched::StreamSpec s;
+        if (slot.program) {
+            s.program = slot.program;
+        } else if (slot.workloadId) {
+            auto compiled = cache_.get(*slot.workloadId, spec.params,
+                                       spec.config);
+            s.program = std::shared_ptr<const Program>(
+                compiled, &compiled->program);
+        } else {
+            throw std::invalid_argument(
+                "StreamSlot has neither a program nor a workload: " +
+                spec.label + "/" + slot.workload);
+        }
+        s.policy = slot.policy ? slot.policy()
+                               : makePolicy(slot.technique);
+        s.name = !slot.workload.empty() ? slot.workload
+            : slot.workloadId ? workloadName(*slot.workloadId)
+                              : s.program->name;
+        streams.push_back(std::move(s));
+    }
+
+    Engine engine(spec.config);
+    sched::MultiRunResult mr =
+        engine.run(std::move(streams), spec.engine);
+    // Label per-stream results with the slot's display technique (a
+    // custom policy object's own name may differ), and rebuild the
+    // aggregate's joined label so both agree.
+    std::string joined;
+    for (std::size_t i = 0; i < mr.streams.size(); ++i) {
+        if (!spec.streams[i].technique.empty())
+            mr.streams[i].policy = spec.streams[i].technique;
+        if (i > 0)
+            joined += "+";
+        joined += mr.streams[i].policy;
+    }
+    mr.aggregate.policy = joined;
+    return mr;
+}
+
+std::vector<sched::MultiRunResult>
+SweepRunner::runMultiAll(const std::vector<MultiRunSpec> &specs)
+{
+    std::vector<sched::MultiRunResult> results(specs.size());
+    parallelFor(workerCount(specs.size()), specs.size(),
+                [&](std::size_t i) { results[i] = runMulti(specs[i]); });
+    return results;
+}
+
 SweepResult
 SweepRunner::run(std::vector<RunSpec> specs)
 {
     const auto t0 = std::chrono::steady_clock::now();
     const std::size_t n = specs.size();
     std::vector<RunResult> results(n);
-    std::vector<std::exception_ptr> errors(n);
-
-    unsigned threads = opts_.threads;
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    threads = static_cast<unsigned>(
-        std::min<std::size_t>(threads, std::max<std::size_t>(n, 1)));
-
-    // Workers pull the next unclaimed spec index; results land at
-    // that index, so output order never depends on scheduling.
-    std::atomic<std::size_t> next{0};
-    const auto worker = [&] {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            try {
-                results[i] = runOne(specs[i]);
-            } catch (...) {
-                errors[i] = std::current_exception();
-            }
-        }
-    };
-
-    if (threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (unsigned t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
-    }
-
-    for (std::size_t i = 0; i < n; ++i)
-        if (errors[i])
-            std::rethrow_exception(errors[i]);
+    const unsigned threads = workerCount(n);
+    parallelFor(threads, n,
+                [&](std::size_t i) { results[i] = runOne(specs[i]); });
 
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

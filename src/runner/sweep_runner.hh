@@ -47,6 +47,27 @@ class SweepRunner
      */
     RunResult runOne(const RunSpec &spec);
 
+    /**
+     * Execute one multi-tenant cell: all of @p spec's streams co-run
+     * on one fresh simulated SSD. Deterministic for equal specs.
+     */
+    sched::MultiRunResult runMulti(const MultiRunSpec &spec);
+
+    /**
+     * Execute every multi-tenant cell across the worker pool and
+     * return results in spec order (cells are independent engine
+     * runs, so results are thread-count invariant like run()).
+     */
+    std::vector<sched::MultiRunResult>
+    runMultiAll(const std::vector<MultiRunSpec> &specs);
+
+    /**
+     * Worker threads a sweep of @p jobs cells would use: the
+     * --threads option (0 = hardware concurrency) clamped to the
+     * job count.
+     */
+    unsigned workerCount(std::size_t jobs) const;
+
     /** The shared compile cache (shared across run() calls too). */
     ProgramCache &cache() { return cache_; }
 

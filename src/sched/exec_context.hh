@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Per-stream execution state for the event-driven engine.
+ *
+ * A production SSD serves many tenants at once: the scheduler co-runs
+ * N independent instruction streams ("tenants") on one simulated
+ * device. Each stream gets an ExecContext — its program counter,
+ * per-stream completion vector, energy accumulator, and RunResult —
+ * while all streams share the device substrate (flash dies, DRAM
+ * banks, the controller cores, the offloader pipeline). Contention
+ * between streams emerges from the shared FCFS reservation calendars
+ * (§4.3–4.5), exactly as single-stream contention does.
+ *
+ * Streams occupy disjoint logical-page regions: a stream's operand
+ * pages are offset by @ref ExecContext::base, so coherence metadata
+ * and FTL mappings never alias across tenants even though they live
+ * in the same device-wide tables.
+ */
+
+#ifndef CONDUIT_SCHED_EXEC_CONTEXT_HH
+#define CONDUIT_SCHED_EXEC_CONTEXT_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/run_result.hh"
+#include "src/energy/energy_model.hh"
+#include "src/ir/instruction.hh"
+#include "src/offload/policy.hh"
+
+namespace conduit::sched
+{
+
+/** One tenant of a multi-stream run. */
+struct StreamSpec
+{
+    /** Result label; defaults to the program's name. */
+    std::string name;
+
+    /** Compiled instruction stream to execute. */
+    std::shared_ptr<const Program> program;
+
+    /** Offloading policy deciding this stream's targets. */
+    std::shared_ptr<OffloadPolicy> policy;
+};
+
+/**
+ * Live execution state of one stream.
+ *
+ * Owned by Engine::run for the duration of a multi-stream run; the
+ * StreamScheduler holds references and drives the stream's dispatch
+ * chain as events.
+ */
+struct ExecContext
+{
+    explicit ExecContext(const EnergyConfig &ecfg) : energy(ecfg) {}
+
+    /** @name Immutable per-run wiring @{ */
+    std::string name;
+    const Program *prog = nullptr;
+    OffloadPolicy *policy = nullptr;
+    bool ideal = false;
+
+    /** First absolute logical page of this stream's region. */
+    std::uint64_t base = 0;
+
+    /** Logical pages in the region (the program's footprint). */
+    std::uint64_t pages = 0;
+    /** @} */
+
+    /** @name Live state @{ */
+
+    /** Next instruction to dispatch (index into prog->instrs). */
+    std::size_t pc = 0;
+
+    /** Completion tick per instruction id (RAW dependence lookups). */
+    std::vector<Tick> completion;
+
+    /** Latest completion seen so far (stream makespan, pre-drain). */
+    Tick execEnd = 0;
+
+    /** Aggregate per-resource compute time in Ideal mode. */
+    std::array<Tick, kNumTargets> idealBusy{};
+    /** @} */
+
+    /** Per-stream energy attribution. */
+    EnergyModel energy;
+
+    /** Per-stream result under construction. */
+    RunResult result;
+
+    bool done() const { return prog && pc >= prog->instrs.size(); }
+};
+
+/** Outcome of a multi-stream run. */
+struct MultiRunResult
+{
+    /** Per-stream results, in StreamSpec order. */
+    std::vector<RunResult> streams;
+
+    /**
+     * Device-level aggregate: sums of the per-stream counters and
+     * busy times, the merged latency histogram, and the makespan as
+     * execTime. The workload/policy labels join the stream labels.
+     */
+    RunResult aggregate;
+
+    /** Latest stream completion (including result drains). */
+    Tick makespan = 0;
+
+    /** Events the scheduler fired (dispatches + completions). */
+    std::uint64_t eventsFired = 0;
+};
+
+} // namespace conduit::sched
+
+#endif // CONDUIT_SCHED_EXEC_CONTEXT_HH

@@ -1,0 +1,50 @@
+#include "src/sched/stream_scheduler.hh"
+
+#include <algorithm>
+
+namespace conduit::sched
+{
+
+StreamScheduler::StreamScheduler(StreamDispatcher &dispatcher,
+                                 EventQueue &queue)
+    : dispatcher_(dispatcher), queue_(queue)
+{
+}
+
+void
+StreamScheduler::add(ExecContext &ctx)
+{
+    if (ctx.done())
+        return; // empty program: nothing to dispatch
+    // All first dispatches land on tick 0; the queue's sequence
+    // numbers give streams their first offloader slots in add()
+    // order, after which simulated time takes over.
+    queue_.schedule(
+        0, [this, &ctx] { onDispatch(ctx); }, kDispatchPriority);
+}
+
+void
+StreamScheduler::onDispatch(ExecContext &ctx)
+{
+    const DispatchOutcome out = dispatcher_.dispatchNext(ctx);
+
+    const Tick done = std::max(queue_.now(), out.completion);
+    queue_.schedule(
+        done,
+        [&ctx, done] { ctx.execEnd = std::max(ctx.execEnd, done); },
+        kCompletionPriority);
+
+    if (!ctx.done()) {
+        queue_.schedule(
+            std::max(queue_.now(), out.nextDispatch),
+            [this, &ctx] { onDispatch(ctx); }, kDispatchPriority);
+    }
+}
+
+void
+StreamScheduler::run()
+{
+    queue_.run();
+}
+
+} // namespace conduit::sched

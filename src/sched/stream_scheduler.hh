@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Event-driven multi-stream scheduler.
+ *
+ * StreamScheduler turns the engine's per-instruction pipeline into
+ * discrete events on an EventQueue. Each stream advances through a
+ * chain of dispatch events: a dispatch event asks the dispatcher
+ * (the Engine) to run one instruction's pipeline — offloader stage,
+ * feature collection, policy decision, operand movement, and resource
+ * reservation on the shared FCFS calendars — and reports back when
+ * the instruction will complete and when the stream's next dispatch
+ * may fire. The scheduler then enqueues the completion event and the
+ * next dispatch event.
+ *
+ * Ordering is what makes co-running deterministic AND single-stream
+ * runs byte-identical to the old serial loop:
+ *
+ *  - The EventQueue fires events by (tick, priority, sequence), so
+ *    two streams' dispatches interleave in simulated-time order with
+ *    scheduling order breaking ties — never host-thread order.
+ *  - A single stream's dispatch chain is strictly sequential (each
+ *    dispatch schedules the next), so the engine observes exactly
+ *    the call sequence of the old `for (instr : prog.instrs)` loop.
+ *
+ * Completion events fire after same-tick dispatches (lower priority)
+ * and only advance the stream's observed end time; all resource
+ * state was already reserved at dispatch, mirroring the paper's
+ * reservation-calendar contention model (§4.3.2).
+ */
+
+#ifndef CONDUIT_SCHED_STREAM_SCHEDULER_HH
+#define CONDUIT_SCHED_STREAM_SCHEDULER_HH
+
+#include "src/sched/exec_context.hh"
+#include "src/sim/event_queue.hh"
+
+namespace conduit::sched
+{
+
+/** What one dispatched instruction implies for the event chain. */
+struct DispatchOutcome
+{
+    /** Earliest tick the stream's next dispatch event may fire. */
+    Tick nextDispatch = 0;
+
+    /** Tick at which the dispatched instruction completes. */
+    Tick completion = 0;
+};
+
+/**
+ * The scheduler's view of the engine: dispatch one instruction of a
+ * stream through the full decision/movement/reservation pipeline.
+ * Implemented by Engine; the scheduler needs nothing else from it.
+ */
+class StreamDispatcher
+{
+  public:
+    virtual ~StreamDispatcher() = default;
+
+    /**
+     * Execute the pipeline for @p ctx's next instruction (advancing
+     * ctx.pc) and return the resulting event times.
+     */
+    virtual DispatchOutcome dispatchNext(ExecContext &ctx) = 0;
+};
+
+/** Drives N streams' dispatch chains as events on one queue. */
+class StreamScheduler
+{
+  public:
+    /** Dispatch events outrank completion events at the same tick. */
+    static constexpr int kDispatchPriority = 0;
+    static constexpr int kCompletionPriority = 1;
+
+    StreamScheduler(StreamDispatcher &dispatcher, EventQueue &queue);
+
+    /**
+     * Register a stream and schedule its first dispatch at tick 0.
+     * The context must outlive the scheduler's run() — the event
+     * callbacks hold references.
+     */
+    void add(ExecContext &ctx);
+
+    /** Run the event loop until every stream's chain has drained. */
+    void run();
+
+  private:
+    void onDispatch(ExecContext &ctx);
+
+    StreamDispatcher &dispatcher_;
+    EventQueue &queue_;
+};
+
+} // namespace conduit::sched
+
+#endif // CONDUIT_SCHED_STREAM_SCHEDULER_HH

@@ -89,6 +89,15 @@ class Histogram
      */
     double percentile(double p) const;
 
+    /** Append every sample of @p other (aggregate histograms). */
+    void
+    merge(const Histogram &other)
+    {
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+        sorted_ = false;
+    }
+
     void
     clear()
     {

@@ -213,6 +213,90 @@ TEST(Engine, LatchPressureForcesEvictions)
     EXPECT_GE(r.coherenceCommits, r.latchEvictions);
 }
 
+TEST(Engine, DramStagingPressureForcesWritebacks)
+{
+    // Many distinct destination pages staged in SSD DRAM through the
+    // PuD path; a tiny staging fraction forces the LRU to evict
+    // dirty pages, each eviction committing the victim to flash
+    // (coherence trigger iii) and charging internal data movement.
+    Program prog;
+    prog.name = "dramstorm";
+    const std::size_t n = 96;
+    prog.footprintPages = 4 * n + 8;
+    for (std::size_t i = 0; i < n; ++i) {
+        VecInstruction vi;
+        vi.id = i;
+        vi.op = OpCode::Add;
+        vi.elemBits = 8;
+        vi.lanes = 16384;
+        vi.srcs = {Operand{0, 4}, Operand{4, 4}};
+        vi.dst = Operand{8 + 4 * i, 4};
+        prog.instrs.push_back(vi);
+    }
+    auto pud = makePolicy("PuD-SSD"); // everything staged in DRAM
+    // Disable the final result drain so execution time is compared
+    // without the end-of-run commit of whatever stayed resident.
+    EngineOptions relaxed; // default: staging far exceeds footprint
+    relaxed.drainResults = false;
+    Engine a(testCfg());
+    auto free = a.run(prog, *pud, relaxed);
+
+    EngineOptions pressured;
+    pressured.drainResults = false;
+    pressured.dramStagingFraction = 0.05; // 64-page floor applies
+    Engine b(testCfg());
+    auto tight = b.run(prog, *pud, pressured);
+
+    EXPECT_GT(tight.coherenceCommits, free.coherenceCommits);
+    EXPECT_GT(tight.internalDmBusy, free.internalDmBusy);
+    EXPECT_GE(tight.execTime, free.execTime);
+}
+
+TEST(Engine, AmpleStagingNeverEvicts)
+{
+    // The same program with the default (over-provisioned) staging
+    // fraction stays resident: no capacity-driven commits at all.
+    Program prog = chainProgram(32);
+    auto pud = makePolicy("PuD-SSD");
+    Engine eng(testCfg());
+    auto r = eng.run(prog, *pud);
+    EXPECT_EQ(r.coherenceCommits, 0u);
+}
+
+TEST(Engine, LatchSpillScalesWithCapacity)
+{
+    // Shrinking per-die latch capacity strictly increases spills to
+    // the array; generous capacity eliminates them.
+    Program prog;
+    prog.name = "latchscale";
+    const std::size_t n = 48;
+    prog.footprintPages = 4 * n + 8;
+    for (std::size_t i = 0; i < n; ++i) {
+        VecInstruction vi;
+        vi.id = i;
+        vi.op = OpCode::Xor;
+        vi.elemBits = 8;
+        vi.lanes = 16384;
+        vi.srcs = {Operand{0, 4}, Operand{4, 4}};
+        vi.dst = Operand{8 + 4 * i, 4};
+        prog.instrs.push_back(vi);
+    }
+    SsdConfig cfg = testCfg();
+    cfg.nand.channels = 1;
+    cfg.nand.diesPerChannel = 2;
+
+    AresFlashPolicy pol;
+    EngineOptions tiny, roomy;
+    tiny.latchPagesPerDie = 2;
+    roomy.latchPagesPerDie = 4096;
+    Engine a(cfg), b(cfg);
+    auto spills = a.run(prog, pol, tiny);
+    auto clean = b.run(prog, pol, roomy);
+    EXPECT_GT(spills.latchEvictions, 0u);
+    EXPECT_EQ(clean.latchEvictions, 0u);
+    EXPECT_LT(clean.latchEvictions, spills.latchEvictions);
+}
+
 TEST(Engine, DrainChargesHostTransfer)
 {
     Program prog = chainProgram(8);
@@ -242,6 +326,19 @@ TEST(Engine, FeatureVectorMatchesSubstrateSupport)
     EXPECT_TRUE(f.supported[static_cast<int>(Target::Ifp)]);
     EXPECT_GT(f.comp[static_cast<int>(Target::Pud)], 0u);
     EXPECT_LT(f.comp[static_cast<int>(Target::Pud)], kMaxTick);
+}
+
+TEST(Engine, FeatureProbeSeesDependenceDelayAfterRun)
+{
+    // features() after a run consults the run's completion state:
+    // an instruction depending on a completed producer reports the
+    // producer's completion tick as dependence delay at now=0.
+    Program prog = chainProgram(4);
+    Engine eng(testCfg());
+    ConduitPolicy pol;
+    eng.run(prog, pol);
+    CostFeatures f = eng.features(prog.instrs[3], 0);
+    EXPECT_GT(f.depDelay, 0u);
 }
 
 TEST(Engine, DeterministicAcrossIdenticalRuns)

@@ -16,7 +16,10 @@
  *
  * Flags: the shared sweep CLI. --workloads filters the tenant set;
  * --techniques selects the one offloading policy every stream runs
- * under (a single entry, default Conduit).
+ * under (a single entry, default Conduit). --via-device executes
+ * every cell through the persistent-device job API instead of the
+ * direct batch engine run — output is byte-identical by the Device
+ * equivalence contract, and CI diffs the two paths.
  */
 
 #include <chrono>
@@ -50,7 +53,16 @@ main(int argc, char **argv)
     using namespace conduit;
     using namespace conduit::bench;
 
-    const SweepCli cli = SweepCli::parse(argc, argv);
+    bool viaDevice = false;
+    const auto extra = [&](const std::string &flag,
+                           const std::function<std::string()> &) {
+        if (flag != "--via-device")
+            return false;
+        viaDevice = true;
+        return true;
+    };
+    const SweepCli cli =
+        SweepCli::parse(argc, argv, extra, "          [--via-device]\n");
 
     std::vector<std::string> names;
     for (WorkloadId id : allWorkloads())
@@ -109,6 +121,7 @@ main(int argc, char **argv)
         iso.label = workloadName(p);
         iso.params = params;
         iso.streams = {slotFor(p, policy)};
+        iso.viaDevice = viaDevice;
         cells.push_back(std::move(iso));
     }
     for (WorkloadId p : tenants) {
@@ -117,6 +130,7 @@ main(int argc, char **argv)
             co.label = workloadName(p) + "+" + workloadName(b);
             co.params = params;
             co.streams = {slotFor(p, policy), slotFor(b, policy)};
+            co.viaDevice = viaDevice;
             cells.push_back(std::move(co));
         }
     }

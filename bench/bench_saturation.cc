@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Saturation curves: throughput and tail latency vs offered load.
+ *
+ * The paper evaluates offloading policies one closed-form run at a
+ * time; a deployed device instead faces an open-loop stream of
+ * arriving jobs. This bench offers each workload to a persistent
+ * Device at a ladder of arrival rates — for every policy — and
+ * reports the achieved throughput, the mean job sojourn time, and
+ * the per-request p99 / p99.99 latency at every operating point.
+ * Each (workload, policy, rate) cell is one deterministic device
+ * lifetime with pseudo-Poisson (or fixed / uniform) arrivals, eager
+ * job retirement, and page-region recycling; cells are independent,
+ * so the sweep parallelizes like every other bench while stdout and
+ * CSV stay byte-identical across thread counts.
+ *
+ * The default rate ladder is self-calibrating: one isolated job's
+ * makespan under the first selected policy anchors rate multipliers
+ * {0.25, 0.5, 1, 2, 4}, so the sweep brackets the saturation knee at
+ * any --scale. --rates overrides with absolute jobs/second (emitted
+ * ascending — the offered-load column is monotone per policy).
+ *
+ * Flags: the shared sweep CLI (--techniques selects policies,
+ * validated against the policy table) plus
+ *   --jobs N            jobs offered per cell (default 8)
+ *   --rates a,b         absolute offered loads, jobs/s
+ *   --arrivals KIND     fixed | uniform | poisson (default)
+ *   --arrival-seed N    arrival-schedule seed (default 1; the same
+ *                       schedule is replayed for every policy)
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace conduit;
+using namespace conduit::bench;
+using conduit::runner::LoadRunSpec;
+using conduit::runner::splitCsv;
+
+[[noreturn]] void
+badExtra(const char *what, const std::string &value)
+{
+    std::fprintf(stderr, "invalid value for %s: '%s'\n", what,
+                 value.c_str());
+    std::exit(2);
+}
+
+unsigned long
+parseCount(const char *flag, const std::string &value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+    if (errno != 0 || end == value.c_str() || *end != '\0' ||
+        value[0] == '-' || v == 0)
+        badExtra(flag, value);
+    return v;
+}
+
+std::vector<double>
+parseRates(const std::string &csv)
+{
+    std::vector<double> rates;
+    for (const std::string &tok : splitCsv(csv)) {
+        char *end = nullptr;
+        errno = 0;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (errno != 0 || end == tok.c_str() || *end != '\0' ||
+            !(v > 0.0))
+            badExtra("--rates", tok);
+        rates.push_back(v);
+    }
+    // The offered-load axis is emitted ascending and deduplicated so
+    // every policy's CSV block is strictly monotone in load.
+    std::sort(rates.begin(), rates.end());
+    rates.erase(std::unique(rates.begin(), rates.end()), rates.end());
+    return rates;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace conduit;
+    using namespace conduit::bench;
+
+    std::size_t jobs = 8;
+    std::vector<double> rates;
+    ArrivalKind arrivals = ArrivalKind::Poisson;
+    std::uint64_t arrivalSeed = 1;
+    const auto extra = [&](const std::string &flag,
+                           const std::function<std::string()> &value) {
+        if (flag == "--jobs") {
+            jobs = parseCount("--jobs", value());
+        } else if (flag == "--rates") {
+            rates = parseRates(value());
+        } else if (flag == "--arrivals") {
+            const std::string v = value();
+            if (!parseArrivalKind(v, arrivals)) {
+                std::fprintf(stderr,
+                             "unknown --arrivals '%s'; accepted: %s\n",
+                             v.c_str(),
+                             runner::joinLabels(arrivalKindNames())
+                                 .c_str());
+                std::exit(2);
+            }
+        } else if (flag == "--arrival-seed") {
+            arrivalSeed = parseCount("--arrival-seed", value());
+        } else {
+            return false;
+        }
+        return true;
+    };
+    const SweepCli cli = SweepCli::parse(
+        argc, argv, extra,
+        "          [--jobs N] [--rates a,b] [--arrivals KIND]\n"
+        "          [--arrival-seed N]\n");
+
+    std::vector<std::string> names;
+    for (WorkloadId id : allWorkloads())
+        names.push_back(workloadName(id));
+    if (cli.listWorkloads)
+        runner::listAndExit(names);
+    if (cli.listTechniques)
+        runner::listAndExit(policyNames());
+
+    // Workload rows: the tail-sensitive AES kernel by default;
+    // --workloads widens to any Table 3 application.
+    std::vector<WorkloadId> tenants = {WorkloadId::Aes};
+    const auto keepW = splitCsv(cli.workloadFilter);
+    if (!runner::reportUnknown(keepW, names, "workload"))
+        return 2;
+    if (!keepW.empty()) {
+        tenants.clear();
+        for (WorkloadId id : allWorkloads()) {
+            if (std::find(keepW.begin(), keepW.end(),
+                          workloadName(id)) != keepW.end())
+                tenants.push_back(id);
+        }
+    }
+
+    // Policy columns: validated against the policy table — an
+    // unknown filter entry is rejected with the accepted names.
+    std::vector<std::string> policies = {"Conduit", "DM-Offloading",
+                                         "BW-Offloading"};
+    const auto keepP = splitCsv(cli.techniqueFilter);
+    for (const std::string &p : keepP) {
+        if (p == "CPU" || p == "GPU") {
+            std::fprintf(stderr,
+                         "offered-load cells run on the SSD engine; "
+                         "host baseline '%s' cannot serve jobs\n",
+                         p.c_str());
+            return 2;
+        }
+    }
+    if (!runner::reportUnknown(keepP, policyNames(), "policy"))
+        return 2;
+    if (!keepP.empty())
+        policies = keepP;
+
+    WorkloadParams params;
+    params.scale = cli.scale;
+
+    SweepRunner runner(cli.runnerOptions());
+
+    // Build the cell matrix: workload-major, policy, then rate
+    // ascending. The same arrival schedule (kind, rate, seed) is
+    // replayed for every policy so curves differ only by decisions.
+    std::vector<LoadRunSpec> cells;
+    std::vector<std::size_t> rateCounts; // per workload row
+    for (WorkloadId w : tenants) {
+        std::vector<double> wRates = rates;
+        if (wRates.empty()) {
+            // Self-calibrate: one isolated job under the first
+            // policy anchors the rate ladder at its service rate.
+            LoadRunSpec iso;
+            iso.workload = workloadName(w);
+            iso.technique = policies.front();
+            iso.workloadId = w;
+            iso.params = params;
+            iso.jobs = 1;
+            const DeviceSnapshot snap = runner.runLoad(iso);
+            const double tIso = ticksToSeconds(snap.makespan);
+            const double base = tIso > 0.0 ? 1.0 / tIso : 1.0;
+            for (double mult : {0.25, 0.5, 1.0, 2.0, 4.0})
+                wRates.push_back(base * mult);
+        }
+        for (const std::string &policy : policies) {
+            for (double rate : wRates) {
+                LoadRunSpec cell;
+                cell.workload = workloadName(w);
+                cell.technique = policy;
+                cell.workloadId = w;
+                cell.params = params;
+                cell.jobs = jobs;
+                cell.jobsPerSec = rate;
+                cell.arrivals = arrivals;
+                cell.arrivalSeed = arrivalSeed;
+                cells.push_back(std::move(cell));
+            }
+        }
+        rateCounts.push_back(wRates.size());
+    }
+
+    const std::vector<DeviceSnapshot> snaps = runner.runLoadAll(cells);
+
+    std::vector<runner::LoadRow> rows;
+    rows.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        rows.push_back(runner::makeLoadRow(cells[i], snaps[i]));
+
+    std::printf("Open-loop saturation sweep (%zu jobs/cell, %s "
+                "arrivals)\n\n",
+                jobs, arrivalKindName(arrivals).c_str());
+    std::size_t r = 0;
+    for (std::size_t wi = 0; wi < tenants.size(); ++wi) {
+        std::printf("%s\n", workloadName(tenants[wi]).c_str());
+        std::printf("  %-16s %12s %12s %14s %12s %12s\n", "policy",
+                    "offered/s", "thpt/s", "sojourn (ms)", "p99 (us)",
+                    "p99.99 (us)");
+        for (const std::string &policy : policies) {
+            (void)policy;
+            for (std::size_t k = 0; k < rateCounts[wi]; ++k) {
+                const runner::LoadRow &row = rows.at(r++);
+                std::printf(
+                    "  %-16s %12.2f %12.2f %14.3f %12.2f %12.2f\n",
+                    row.technique.c_str(), row.jobsPerSec,
+                    row.throughputJobsPerSec, row.meanSojournMs,
+                    row.p99Us, row.p9999Us);
+            }
+        }
+        std::printf("\n");
+    }
+
+    int status = 0;
+    if (!cli.csvPath.empty() &&
+        !runner::writeLoadCsvFile(cli.csvPath, rows)) {
+        std::fprintf(stderr, "error: could not write %s\n",
+                     cli.csvPath.c_str());
+        status = 1;
+    }
+    if (!cli.jsonPath.empty() &&
+        !runner::writeLoadJsonFile(cli.jsonPath, rows)) {
+        std::fprintf(stderr, "error: could not write %s\n",
+                     cli.jsonPath.c_str());
+        status = 1;
+    }
+    return status;
+}

@@ -1,0 +1,123 @@
+#include "src/core/arrival.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace conduit
+{
+
+std::vector<Tick>
+ArrivalProcess::schedule(std::size_t n)
+{
+    std::vector<Tick> times;
+    times.reserve(n);
+    Tick t = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += next();
+        times.push_back(t);
+    }
+    return times;
+}
+
+TraceArrivals::TraceArrivals(std::vector<Tick> gaps)
+    : gaps_(std::move(gaps))
+{
+    if (gaps_.empty())
+        throw std::invalid_argument(
+            "TraceArrivals: the gap trace must be non-empty");
+}
+
+Tick
+TraceArrivals::next()
+{
+    const Tick gap = gaps_[pos_];
+    pos_ = (pos_ + 1) % gaps_.size();
+    return gap;
+}
+
+UniformArrivals::UniformArrivals(Tick lo, Tick hi, std::uint64_t seed)
+    : lo_(lo), hi_(hi), rng_(seed)
+{
+    if (hi_ < lo_)
+        throw std::invalid_argument(
+            "UniformArrivals: hi must be >= lo");
+}
+
+Tick
+UniformArrivals::next()
+{
+    return lo_ + rng_.below(hi_ - lo_ + 1);
+}
+
+PoissonArrivals::PoissonArrivals(double mean_gap_ticks,
+                                 std::uint64_t seed)
+    : meanGap_(mean_gap_ticks), rng_(seed)
+{
+    if (!(meanGap_ >= 0.0))
+        throw std::invalid_argument(
+            "PoissonArrivals: mean gap must be non-negative");
+}
+
+PoissonArrivals
+PoissonArrivals::fromRate(double jobs_per_sec, std::uint64_t seed)
+{
+    if (!(jobs_per_sec > 0.0))
+        throw std::invalid_argument(
+            "PoissonArrivals: rate must be positive");
+    return PoissonArrivals(static_cast<double>(kPsPerS) / jobs_per_sec,
+                           seed);
+}
+
+Tick
+PoissonArrivals::next()
+{
+    // Inverse transform: gap = -mean * ln(1 - U), U in [0, 1).
+    const double u = rng_.uniform();
+    return static_cast<Tick>(-meanGap_ * std::log1p(-u));
+}
+
+const std::vector<std::string> &
+arrivalKindNames()
+{
+    static const std::vector<std::string> names = {"fixed", "uniform",
+                                                   "poisson"};
+    return names;
+}
+
+std::string
+arrivalKindName(ArrivalKind kind)
+{
+    return arrivalKindNames().at(static_cast<std::size_t>(kind));
+}
+
+bool
+parseArrivalKind(const std::string &name, ArrivalKind &out)
+{
+    const auto &names = arrivalKindNames();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == name) {
+            out = static_cast<ArrivalKind>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::unique_ptr<ArrivalProcess>
+makeArrivals(ArrivalKind kind, double mean_gap_ticks,
+             std::uint64_t seed)
+{
+    const Tick mean = static_cast<Tick>(mean_gap_ticks);
+    switch (kind) {
+      case ArrivalKind::Fixed:
+        return std::make_unique<FixedArrivals>(mean);
+      case ArrivalKind::Uniform:
+        return std::make_unique<UniformArrivals>(mean / 2,
+                                                 mean + mean / 2, seed);
+      case ArrivalKind::Poisson:
+        return std::make_unique<PoissonArrivals>(mean_gap_ticks, seed);
+    }
+    throw std::invalid_argument("makeArrivals: unknown kind");
+}
+
+} // namespace conduit

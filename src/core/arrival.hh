@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Arrival processes for open-loop job submission.
+ *
+ * An open-loop experiment offers jobs to the device at a rate the
+ * device cannot push back on — the "heavy traffic from millions of
+ * users" regime where saturation curves and SLO tails live. An
+ * ArrivalProcess generates the inter-arrival gaps of such a stream
+ * deterministically: every generator draws from the repository's
+ * fully specified Rng, so a (kind, rate, seed) triple reproduces the
+ * same arrival schedule on every platform, thread count, and repeat
+ * run.
+ */
+
+#ifndef CONDUIT_CORE_ARRIVAL_HH
+#define CONDUIT_CORE_ARRIVAL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/rng.hh"
+#include "src/sim/types.hh"
+
+namespace conduit
+{
+
+/** Generator of job inter-arrival gaps (simulated ticks). */
+class ArrivalProcess
+{
+  public:
+    virtual ~ArrivalProcess() = default;
+
+    /** Gap between the previous arrival and the next one. */
+    virtual Tick next() = 0;
+
+    /**
+     * Absolute arrival ticks of the next @p n jobs: the cumulative
+     * sums of next(), starting from the first gap (the classic
+     * renewal-process convention — the first job arrives one gap
+     * after t = 0).
+     */
+    std::vector<Tick> schedule(std::size_t n);
+};
+
+/** Replays an explicit gap trace, cycling when exhausted. */
+class TraceArrivals final : public ArrivalProcess
+{
+  public:
+    /** @param gaps Inter-arrival gaps to replay; must be non-empty. */
+    explicit TraceArrivals(std::vector<Tick> gaps);
+
+    Tick next() override;
+
+  private:
+    std::vector<Tick> gaps_;
+    std::size_t pos_ = 0;
+};
+
+/** Deterministic constant spacing (a perfectly paced load source). */
+class FixedArrivals final : public ArrivalProcess
+{
+  public:
+    explicit FixedArrivals(Tick gap) : gap_(gap) {}
+
+    Tick next() override { return gap_; }
+
+  private:
+    Tick gap_;
+};
+
+/** Uniform-random gaps in [lo, hi] (bounded jitter around a rate). */
+class UniformArrivals final : public ArrivalProcess
+{
+  public:
+    UniformArrivals(Tick lo, Tick hi, std::uint64_t seed = 1);
+
+    Tick next() override;
+
+  private:
+    Tick lo_;
+    Tick hi_;
+    Rng rng_;
+};
+
+/**
+ * Deterministic pseudo-Poisson arrivals: exponential gaps with the
+ * given mean, inverse-transform sampled from the repository Rng.
+ * The memoryless bursts of a Poisson stream are what expose tail
+ * latency under offered load (cf. open-loop load generators).
+ */
+class PoissonArrivals final : public ArrivalProcess
+{
+  public:
+    PoissonArrivals(double mean_gap_ticks, std::uint64_t seed = 1);
+
+    /** Construct from an offered load in jobs per simulated second. */
+    static PoissonArrivals fromRate(double jobs_per_sec,
+                                    std::uint64_t seed = 1);
+
+    Tick next() override;
+
+  private:
+    double meanGap_;
+    Rng rng_;
+};
+
+/** The generator families the load sweeps can name. */
+enum class ArrivalKind
+{
+    Fixed,
+    Uniform,
+    Poisson,
+};
+
+/** Display names accepted by parseArrivalKind, in enum order. */
+const std::vector<std::string> &arrivalKindNames();
+
+/** Display name of @p kind ("fixed", "uniform", "poisson"). */
+std::string arrivalKindName(ArrivalKind kind);
+
+/**
+ * Parse a display name.
+ * @return true and set @p out on success; false on an unknown name.
+ */
+bool parseArrivalKind(const std::string &name, ArrivalKind &out);
+
+/**
+ * Build a process of @p kind with mean gap @p mean_gap_ticks:
+ * Fixed at exactly the mean, Uniform jittered in [mean/2, 3*mean/2],
+ * Poisson exponential. All three offer the same average load, so a
+ * rate sweep can vary burstiness without moving the operating point.
+ */
+std::unique_ptr<ArrivalProcess> makeArrivals(ArrivalKind kind,
+                                             double mean_gap_ticks,
+                                             std::uint64_t seed = 1);
+
+} // namespace conduit
+
+#endif // CONDUIT_CORE_ARRIVAL_HH

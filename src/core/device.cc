@@ -1,0 +1,350 @@
+#include "src/core/device.hh"
+
+#include <stdexcept>
+
+namespace conduit
+{
+
+// --------------------------------------------------- RegionAllocator
+
+void
+RegionAllocator::reset(std::uint64_t pages)
+{
+    free_.clear();
+    capacity_ = pages;
+    inUse_ = 0;
+    if (pages > 0)
+        free_[0] = pages;
+}
+
+std::optional<std::uint64_t>
+RegionAllocator::allocate(std::uint64_t pages)
+{
+    if (pages == 0)
+        return 0; // zero-footprint jobs occupy nothing
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+        if (it->second < pages)
+            continue;
+        const std::uint64_t base = it->first;
+        const std::uint64_t len = it->second;
+        free_.erase(it);
+        if (len > pages)
+            free_[base + pages] = len - pages;
+        inUse_ += pages;
+        return base;
+    }
+    return std::nullopt;
+}
+
+void
+RegionAllocator::release(std::uint64_t base, std::uint64_t pages)
+{
+    if (pages == 0)
+        return;
+    auto [it, inserted] = free_.emplace(base, pages);
+    if (!inserted)
+        throw std::logic_error("RegionAllocator: double free");
+    inUse_ -= pages;
+    auto next = std::next(it);
+    if (next != free_.end() && it->first + it->second == next->first) {
+        it->second += next->second;
+        free_.erase(next);
+    }
+    if (it != free_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            free_.erase(it);
+        }
+    }
+}
+
+// ------------------------------------------------------------ Device
+
+Device::Device(DeviceOptions opts)
+    : opts_(std::move(opts)), engine_(opts_.config)
+{
+}
+
+JobId
+Device::submit(const JobSpec &spec)
+{
+    Job job;
+    if (spec.program) {
+        job.spec.program = spec.program;
+    } else if (spec.workload) {
+        auto vp =
+            cache_.get(*spec.workload, opts_.workload, opts_.config);
+        // Alias the cache entry: it stays alive inside the shared_ptr
+        // control block for as long as any job references it.
+        job.spec.program =
+            std::shared_ptr<const Program>(vp, &vp->program);
+    } else {
+        throw std::invalid_argument(
+            "Device::submit: JobSpec needs a workload or a program");
+    }
+    job.spec.policy = spec.policyObj
+        ? spec.policyObj
+        : std::shared_ptr<OffloadPolicy>(makePolicy(spec.policy));
+    job.spec.name = !spec.name.empty() ? spec.name
+        : spec.workload ? workloadName(*spec.workload)
+                        : std::string();
+    job.footprint = job.spec.program->footprintPages;
+    job.requestedArrival = spec.arrival;
+
+    jobs_.push_back(std::move(job));
+    Job &j = jobs_.back();
+    j.result.id = static_cast<JobId>(jobs_.size());
+    j.result.arrival = j.requestedArrival;
+    if (session_)
+        scheduleArrival(j);
+    return j.result.id;
+}
+
+void
+Device::ensureSession()
+{
+    if (session_)
+        return;
+    std::uint64_t cap = opts_.capacityPages;
+    if (cap == 0) {
+        // Auto-size the pool to the jobs pending right now — the
+        // footprint sum Engine::run prepares for, which keeps
+        // simultaneous-arrival runs byte-identical to runMulti.
+        for (const Job &j : jobs_)
+            cap += j.footprint;
+    }
+    engine_.sessionBegin(cap, opts_.engine);
+    regions_.reset(cap);
+    engine_.sessionScheduler().setStreamDone(
+        [this](sched::ExecContext &ctx) { onStreamDone(ctx); });
+    session_ = true;
+
+    // Tick-0 jobs admit directly (no arrival event), in submission
+    // order — exactly the spec-order attach sequence of Engine::run.
+    // Future arrivals become events on the shared queue.
+    for (Job &job : jobs_) {
+        if (job.requestedArrival == 0) {
+            job.result.arrival = 0;
+            admit(job);
+        } else {
+            scheduleArrival(job);
+        }
+    }
+}
+
+void
+Device::scheduleArrival(Job &job)
+{
+    EventQueue &q = engine_.sessionQueue();
+    const Tick at = std::max(q.now(), job.requestedArrival);
+    job.result.arrival = at;
+    // jobs_ is a deque: the captured reference stays valid.
+    q.schedule(
+        at, [this, &job] { admit(job); },
+        sched::StreamScheduler::kDispatchPriority);
+}
+
+void
+Device::admit(Job &job)
+{
+    if (auto base = regions_.allocate(job.footprint)) {
+        attach(job, *base);
+        return;
+    }
+    job.state = Job::State::Waiting;
+    waiting_.push_back(job.result.id);
+}
+
+void
+Device::attach(Job &job, std::uint64_t base)
+{
+    const Tick at = engine_.sessionQueue().now();
+    job.result.basePage = base;
+    job.result.pages = job.footprint;
+    job.result.admitted = at;
+    job.ctx = &engine_.sessionAttach(job.spec, base, at);
+    byCtx_[job.ctx] = job.result.id;
+    job.state = Job::State::Running;
+    if (job.ctx->finished) {
+        // Empty program: finished on arrival, no completion event
+        // will ever fire for it.
+        job.state = Job::State::Finished;
+        if (opts_.retire == RetirePolicy::OnComplete)
+            retire(job);
+    }
+}
+
+void
+Device::onStreamDone(sched::ExecContext &ctx)
+{
+    Job &job = jobs_[byCtx_.at(&ctx) - 1];
+    job.state = Job::State::Finished;
+    if (opts_.retire == RetirePolicy::OnComplete)
+        retire(job);
+}
+
+void
+Device::retire(Job &job)
+{
+    const Tick end = engine_.sessionFinish(*job.ctx);
+    job.result.end = end;
+    job.result.result = std::move(job.ctx->result);
+    job.state = Job::State::Retired;
+    ++retired_;
+    makespan_ = std::max(makespan_, end);
+
+    // Drop everything the retired job no longer needs, so a
+    // long-lived device serving an unbounded job stream holds per
+    // retired job only its JobResult: the program/policy refs, the
+    // ctx-pointer index, and the context's live state all go (no
+    // event references the finished stream anymore).
+    byCtx_.erase(job.ctx);
+    job.ctx->prog = nullptr;
+    job.ctx->policy = nullptr;
+    job.ctx->completion = {};
+    job.spec = sched::StreamSpec{};
+
+    const std::uint64_t base = job.result.basePage;
+    const std::uint64_t pages = job.result.pages;
+    EventQueue &q = engine_.sessionQueue();
+    if (opts_.retire == RetirePolicy::OnComplete && end > q.now()) {
+        // The result drain extends past the completion event that
+        // triggered this retirement: the pages are still streaming
+        // out over PCIe until `end`, so the region joins the pool
+        // (and queued jobs admit) only then. Retire events fire
+        // after same-tick dispatches and completions.
+        q.schedule(
+            end, [this, base, pages] { releaseRegion(base, pages); },
+            kRetirePriority);
+    } else {
+        // Quiescence-mode retirement happens outside simulated time
+        // (the batch semantics of Engine::run); release in place.
+        releaseRegion(base, pages);
+    }
+}
+
+void
+Device::releaseRegion(std::uint64_t base, std::uint64_t pages)
+{
+    // Free the region for later jobs and admit whoever was queued
+    // for capacity, FIFO (head-of-line: preserves admission order).
+    regions_.release(base, pages);
+    engine_.sessionReclaim(base, pages);
+    while (!waiting_.empty()) {
+        Job &w = jobs_[waiting_.front() - 1];
+        const auto at = regions_.allocate(w.footprint);
+        if (!at)
+            break;
+        waiting_.pop_front();
+        attach(w, *at);
+    }
+}
+
+bool
+Device::retireFinished()
+{
+    bool progress = false;
+    for (Job &job : jobs_) {
+        if (job.state == Job::State::Finished) {
+            retire(job);
+            progress = true;
+        }
+    }
+    return progress;
+}
+
+void
+Device::advanceToQuiescence()
+{
+    EventQueue &q = engine_.sessionQueue();
+    for (;;) {
+        q.run();
+        // Quiescence: retire finished jobs in submission order
+        // (OnComplete mode already retired them in-loop). Retiring
+        // frees regions and may admit queued jobs — which can wake
+        // the queue back up, or finish instantly (empty programs) —
+        // so keep going until a pass makes no progress at all.
+        if (retireFinished())
+            continue;
+        if (!q.empty())
+            continue;
+        if (!waiting_.empty())
+            throw std::runtime_error(
+                "Device: job footprint can never be admitted; raise "
+                "DeviceOptions::capacityPages or shrink the job");
+        return;
+    }
+}
+
+const JobResult &
+Device::wait(JobId id)
+{
+    if (id == 0 || id > jobs_.size())
+        throw std::out_of_range("Device::wait: unknown job id");
+    ensureSession();
+    Job &job = jobs_[id - 1];
+    EventQueue &q = engine_.sessionQueue();
+    while (job.state != Job::State::Retired) {
+        if (q.runOne())
+            continue;
+        if (retireFinished())
+            continue;
+        throw std::runtime_error(
+            "Device::wait: job can never complete; raise "
+            "DeviceOptions::capacityPages or shrink the job");
+    }
+    return job.result;
+}
+
+DeviceSnapshot
+Device::drain()
+{
+    ensureSession();
+    advanceToQuiescence();
+
+    DeviceSnapshot snap;
+    snap.makespan = makespan_;
+    snap.eventsFired = engine_.sessionQueue().eventsFired();
+    snap.jobs.reserve(jobs_.size());
+    for (const Job &job : jobs_)
+        snap.jobs.push_back(job.result);
+    for (const Job &job : jobs_)
+        accumulateResult(snap.aggregate, job.result.result);
+    snap.aggregate.execTime = snap.makespan;
+    return snap;
+}
+
+Tick
+Device::now() const
+{
+    return session_ ? engine_.sessionQueue().now() : 0;
+}
+
+sched::MultiRunResult
+runStreamsOnDevice(const DeviceOptions &opts,
+                   std::vector<sched::StreamSpec> streams)
+{
+    if (streams.empty())
+        throw std::invalid_argument("Engine: no streams to run");
+    Device dev(opts);
+    for (sched::StreamSpec &s : streams) {
+        JobSpec job;
+        job.name = s.name;
+        job.program = std::move(s.program);
+        job.policyObj = std::move(s.policy);
+        dev.submit(job);
+    }
+    DeviceSnapshot snap = dev.drain();
+
+    sched::MultiRunResult mr;
+    mr.makespan = snap.makespan;
+    mr.eventsFired = snap.eventsFired;
+    mr.aggregate = std::move(snap.aggregate);
+    mr.streams.reserve(snap.jobs.size());
+    for (JobResult &jr : snap.jobs)
+        mr.streams.push_back(std::move(jr.result));
+    return mr;
+}
+
+} // namespace conduit

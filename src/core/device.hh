@@ -1,0 +1,375 @@
+/**
+ * @file
+ * The persistent simulated SSD with dynamic job submission.
+ *
+ * The batch facade (Simulation::run / runMulti) answers "what if
+ * these N programs start together on a cold device?". A production
+ * SSD instead serves a *stream* of arriving requests: jobs show up
+ * over time, occupy logical-page regions while they run, and leave.
+ * Device is that long-lived object — it owns one simulated SSD for
+ * its whole lifetime and accepts jobs dynamically:
+ *
+ *   Device dev(opts);
+ *   JobSpec spec;
+ *   spec.workload = WorkloadId::Aes;
+ *   JobId a = dev.submit(spec);
+ *   spec.workload = WorkloadId::Jacobi1d;
+ *   spec.policy = "DM-Offloading";
+ *   spec.arrival = usToTicks(500);
+ *   JobId b = dev.submit(spec);
+ *   const JobResult &ra = dev.wait(a);   // advance sim until a retires
+ *   DeviceSnapshot all = dev.drain();    // run everything submitted
+ *
+ * Jobs arrive at their simulated arrival tick (arrival events on the
+ * shared EventQueue), get a logical-page region from a first-fit
+ * allocator, co-run with whatever else is on the device, and retire:
+ * results drain to the host and the region is reclaimed for later
+ * jobs. Submission is open-loop — arrival times never depend on
+ * completion times — so offered-load experiments (saturation curves,
+ * SLO tails under churn) are first-class.
+ *
+ * Equivalence contract: a Device whose jobs all arrive at tick 0
+ * reproduces Engine::run / Simulation::runMulti byte-identically
+ * (same regions, same event sequence, same retire order), and a
+ * single job reproduces Simulation::run. The batch facade is
+ * re-implemented as a thin wrapper over this class.
+ *
+ * Everything is deterministic: arrivals, admission, retirement and
+ * reclamation all happen at defined points in simulated time, so
+ * repeat runs — on any host thread count — are bit-identical.
+ */
+
+#ifndef CONDUIT_CORE_DEVICE_HH
+#define CONDUIT_CORE_DEVICE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/engine.hh"
+#include "src/core/program_cache.hh"
+#include "src/workloads/workloads.hh"
+
+namespace conduit
+{
+
+/** Identifies a submitted job (sequential from 1; 0 is invalid). */
+using JobId = std::uint64_t;
+
+/**
+ * First-fit allocator over the device's logical-page pool.
+ *
+ * Jobs occupy contiguous regions; freeing coalesces with neighbours.
+ * Allocation order is deterministic (lowest free base wins), so jobs
+ * admitted in submission order from an empty pool land exactly where
+ * Engine::run's spec-order layout puts them.
+ */
+class RegionAllocator
+{
+  public:
+    explicit RegionAllocator(std::uint64_t pages = 0) { reset(pages); }
+
+    /** Drop all allocations and resize the pool to @p pages. */
+    void reset(std::uint64_t pages);
+
+    /** First-fit allocate @p pages; nullopt when nothing fits. */
+    std::optional<std::uint64_t> allocate(std::uint64_t pages);
+
+    /** Return [base, base + pages), coalescing with free neighbours. */
+    void release(std::uint64_t base, std::uint64_t pages);
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t inUse() const { return inUse_; }
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> free_; // base -> length
+    std::uint64_t capacity_ = 0;
+    std::uint64_t inUse_ = 0;
+};
+
+/** When a finished job's results drain and its region frees. */
+enum class RetirePolicy
+{
+    /**
+     * At device quiescence, in submission order — the batch
+     * semantics of Engine::run, byte-compatible with the facade's
+     * runMulti for simultaneous arrivals.
+     */
+    OnQuiesce,
+
+    /**
+     * Inside the job's final completion event — open-loop mode:
+     * regions recycle while other jobs are still running, so a
+     * bounded device can serve an unbounded job stream.
+     */
+    OnComplete,
+};
+
+/** Device-wide knobs (fixed for the device's lifetime). */
+struct DeviceOptions
+{
+    /** Device configuration (defaults: Table 2 geometry, scaled). */
+    SsdConfig config = SsdConfig::scaled(1.0 / 128.0);
+
+    /** Engine options shared by every job. */
+    EngineOptions engine;
+
+    /** Workload dataset scale for JobSpec::workload compilation. */
+    WorkloadParams workload;
+
+    /**
+     * Logical-page pool backing job regions. 0 sizes the pool to the
+     * jobs pending at the first advance — exactly the footprint sum
+     * Engine::run prepares for, which is what makes simultaneous-
+     * arrival runs byte-identical to runMulti. Set it explicitly for
+     * open-ended operation with admission control.
+     */
+    std::uint64_t capacityPages = 0;
+
+    /** Retirement policy (see RetirePolicy). */
+    RetirePolicy retire = RetirePolicy::OnQuiesce;
+};
+
+/**
+ * DeviceOptions carrying a run's device-wide knobs — the one place
+ * the facade and the sweep runner's device paths build their options
+ * from (config, engine, workload) triples.
+ */
+inline DeviceOptions
+makeDeviceOptions(const SsdConfig &config, const EngineOptions &engine,
+                  const WorkloadParams &workload)
+{
+    DeviceOptions d;
+    d.config = config;
+    d.engine = engine;
+    d.workload = workload;
+    return d;
+}
+
+/** One unit of work offered to the device. */
+struct JobSpec
+{
+    /** Result label; defaults to the workload/program name. */
+    std::string name;
+
+    /** Workload to compile via the device's compile-once cache. */
+    std::optional<WorkloadId> workload;
+
+    /** Pre-compiled program (overrides @ref workload). */
+    std::shared_ptr<const Program> program;
+
+    /** Policy name resolved via makePolicy(). */
+    std::string policy = "Conduit";
+
+    /** Externally constructed policy (overrides @ref policy). */
+    std::shared_ptr<OffloadPolicy> policyObj;
+
+    /**
+     * Simulated arrival tick. Clamped to the device's current time
+     * when submitting after the simulation has advanced.
+     */
+    Tick arrival = 0;
+};
+
+/** Everything known about one retired (or in-flight) job. */
+struct JobResult
+{
+    JobId id = 0;
+
+    /** Tick the job arrived at the device. */
+    Tick arrival = 0;
+
+    /**
+     * Tick the job was admitted (region allocated, stream attached).
+     * Later than @ref arrival when the job queued for capacity.
+     */
+    Tick admitted = 0;
+
+    /** Completion tick, result drain included. */
+    Tick end = 0;
+
+    /** Region the job occupied. */
+    std::uint64_t basePage = 0;
+    std::uint64_t pages = 0;
+
+    /** The job's per-stream run result. */
+    RunResult result;
+
+    /** Arrival-to-completion time (queueing + service). */
+    Tick sojourn() const { return end > arrival ? end - arrival : 0; }
+};
+
+/** drain()'s view of the device: every retired job plus aggregates. */
+struct DeviceSnapshot
+{
+    /** Retired jobs, in submission order. */
+    std::vector<JobResult> jobs;
+
+    /** Device-level aggregate (same folding as runMulti's). */
+    RunResult aggregate;
+
+    /** Latest job end (drains included). */
+    Tick makespan = 0;
+
+    /** Events fired on the device's queue so far. */
+    std::uint64_t eventsFired = 0;
+};
+
+/**
+ * A persistent simulated SSD accepting jobs over its lifetime.
+ *
+ * Not thread-safe: a Device advances one discrete-event simulation;
+ * drive it from one thread (sweep across devices for parallelism,
+ * as SweepRunner::runLoadAll does).
+ */
+class Device
+{
+  public:
+    explicit Device(DeviceOptions opts = {});
+
+    /**
+     * Non-copyable, non-movable: the engine's subsystems hold
+     * references into each other and event callbacks hold addresses
+     * of job records. (Returning a freshly constructed Device from a
+     * factory still works — C++17 guaranteed elision.)
+     */
+    Device(const Device &) = delete;
+    Device &operator=(const Device &) = delete;
+
+    /**
+     * Offer a job to the device. Compilation (for workload jobs) and
+     * policy construction happen immediately; the job itself arrives
+     * at max(arrival, now()) in simulated time. Returns the handle
+     * for wait().
+     */
+    JobId submit(const JobSpec &spec);
+
+    /**
+     * Advance the simulation until @p id retires, then return its
+     * result. Waiting on an already-retired job returns immediately.
+     * @throws std::out_of_range on an unknown id.
+     * @throws std::runtime_error when the job can never be admitted
+     *         (its footprint exceeds what the pool could ever free).
+     */
+    const JobResult &wait(JobId id);
+
+    /**
+     * Advance the simulation until every submitted job has retired
+     * and return the cumulative snapshot. The device stays usable —
+     * more jobs may be submitted afterwards and drained again.
+     */
+    DeviceSnapshot drain();
+
+    /** Current simulated time of the device. */
+    Tick now() const;
+
+    /** Jobs submitted so far. */
+    std::size_t jobCount() const { return jobs_.size(); }
+
+    /** Jobs not yet retired. */
+    std::size_t unfinishedJobs() const
+    {
+        return jobs_.size() - retired_;
+    }
+
+    /** The underlying engine (stats and feature probes). */
+    Engine &engine() { return engine_; }
+    const Engine &engine() const { return engine_; }
+
+    const DeviceOptions &options() const { return opts_; }
+
+  private:
+    struct Job
+    {
+        sched::StreamSpec spec; // owns the program + policy
+        std::uint64_t footprint = 0;
+        Tick requestedArrival = 0;
+        enum class State
+        {
+            Submitted, // not yet offered to the event queue
+            Waiting,   // arrived, queued for region capacity
+            Running,   // region allocated, stream attached
+            Finished,  // all completions fired, not yet retired
+            Retired,
+        } state = State::Submitted;
+        sched::ExecContext *ctx = nullptr;
+        JobResult result;
+    };
+
+    /** Start the engine session lazily, at the first advance. */
+    void ensureSession();
+
+    /** Post the job's arrival event (or admit it at session start). */
+    void scheduleArrival(Job &job);
+
+    /** Arrival: allocate a region and attach, or queue for space. */
+    void admit(Job &job);
+
+    /** Attach the job's stream in [base, base+footprint). */
+    void attach(Job &job, std::uint64_t base);
+
+    /** A stream finished — mark its job, retire in OnComplete mode. */
+    void onStreamDone(sched::ExecContext &ctx);
+
+    /**
+     * Retire events (deferred region releases) fire after same-tick
+     * dispatches and completions.
+     */
+    static constexpr int kRetirePriority = 2;
+
+    /**
+     * Drain results and finalize the job. In OnComplete mode the
+     * region frees when the drain finishes in simulated time; in
+     * OnQuiesce mode (batch semantics) it frees in place.
+     */
+    void retire(Job &job);
+
+    /** Return a region to the pool and admit queued jobs, FIFO. */
+    void releaseRegion(std::uint64_t base, std::uint64_t pages);
+
+    /**
+     * Quiescence: retire finished jobs in submission order.
+     * @return true if any job retired (retiring can admit queued
+     *         jobs — including empty-program ones that finish
+     *         instantly — so callers must re-run until no progress).
+     */
+    bool retireFinished();
+
+    /**
+     * Run the event loop to quiescence, retiring and re-admitting
+     * until no progress is possible.
+     * @throws std::runtime_error if waiting jobs can never fit.
+     */
+    void advanceToQuiescence();
+
+    DeviceOptions opts_;
+    Engine engine_;
+    ProgramCache cache_;
+    RegionAllocator regions_;
+    bool session_ = false;
+
+    std::deque<Job> jobs_; // deque: stable addresses for callbacks
+    std::deque<JobId> waiting_;
+    std::unordered_map<const sched::ExecContext *, JobId> byCtx_;
+    std::size_t retired_ = 0;
+    Tick makespan_ = 0;
+};
+
+/**
+ * Run @p streams as tick-0 jobs on a fresh Device under @p opts and
+ * convert the snapshot to the batch result shape — the shared body
+ * of the facade's runStreams and the sweep runner's via-device path
+ * (byte-identical to Engine::run by the equivalence contract).
+ */
+sched::MultiRunResult
+runStreamsOnDevice(const DeviceOptions &opts,
+                   std::vector<sched::StreamSpec> streams);
+
+} // namespace conduit
+
+#endif // CONDUIT_CORE_DEVICE_HH

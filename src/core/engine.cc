@@ -676,7 +676,7 @@ Engine::executeOn(const VecInstruction &instr, Target target,
 }
 
 sched::DispatchOutcome
-Engine::dispatchNext(sched::ExecContext &ctx)
+Engine::dispatchNext(sched::ExecContext &ctx, Tick event_now)
 {
     ctx_ = &ctx;
     const VecInstruction &instr = ctx.prog->instrs[ctx.pc];
@@ -688,16 +688,22 @@ Engine::dispatchNext(sched::ExecContext &ctx)
     // collection latency (§4.5, ~3.77us average) is added to the
     // instruction's dispatch latency (lookups overlap). The
     // offloader is shared: co-run streams' dispatch events contend
-    // for issue slots FCFS.
+    // for issue slots FCFS. The event tick floors the acquisition:
+    // a stream whose arrival event fires at T starts no earlier
+    // than T even if the offloader sat idle before it (for tick-0
+    // batch runs the floor is a no-op — a chain's dispatch never
+    // fires after the calendar's free point).
     Tick disp_start;
     Tick now;
     Tick next_dispatch = 0;
     if (ctx.ideal) {
-        disp_start = 0;
-        now = 0;
+        disp_start = ctx.arrival;
+        now = ctx.arrival;
     } else {
-        const Tick ovh = offloadOverhead(instr, offloader_.freeAt());
-        auto disp = offloader_.acquire(0, cfg_.overhead.issueTicks);
+        const Tick ovh = offloadOverhead(
+            instr, std::max(event_now, offloader_.freeAt()));
+        auto disp = offloader_.acquire(event_now,
+                                       cfg_.overhead.issueTicks);
         result.offloaderBusy += ovh;
         disp_start = disp.start;
         now = disp.start + ovh;
@@ -799,117 +805,179 @@ Engine::run(const Program &prog, OffloadPolicy &policy,
     return std::move(mr.streams.front());
 }
 
+void
+Engine::sessionBegin(std::uint64_t capacity_pages,
+                     const EngineOptions &opts)
+{
+    ctx_ = nullptr;
+    streamCtxs_.clear();
+    prepare(capacity_pages, opts);
+    queue_ = std::make_unique<EventQueue>();
+    scheduler_ = std::make_unique<sched::StreamScheduler>(*this, *queue_);
+}
+
+sched::ExecContext &
+Engine::sessionAttach(const sched::StreamSpec &spec,
+                      std::uint64_t base_page, Tick arrival)
+{
+    if (!spec.program || !spec.policy)
+        throw std::invalid_argument(
+            "Engine: StreamSpec needs a program and a policy");
+    if (base_page + spec.program->footprintPages > pageMeta_.size())
+        throw std::invalid_argument(
+            "Engine: stream region exceeds the session's prepared "
+            "capacity");
+    streamCtxs_.emplace_back(cfg_.energy);
+    sched::ExecContext &ctx = streamCtxs_.back();
+    ctx.name = spec.name.empty() ? spec.program->name : spec.name;
+    ctx.prog = spec.program.get();
+    ctx.policy = spec.policy.get();
+    ctx.ideal = spec.policy->ideal();
+    ctx.base = base_page;
+    ctx.pages = spec.program->footprintPages;
+    ctx.completion.assign(spec.program->instrs.size(), 0);
+    ctx.result.workload = ctx.name;
+    ctx.result.policy = spec.policy->name();
+    scheduler_->add(ctx, arrival);
+    return ctx;
+}
+
+Tick
+Engine::sessionFinish(sched::ExecContext &ctx)
+{
+    Tick end = ctx.execEnd;
+    if (ctx.ideal) {
+        // "No resource contention" still cannot beat the aggregate
+        // capacity of each resource class: one controller core, all
+        // DRAM banks, all flash dies perfectly load-balanced.
+        end = std::max(
+            end, ctx.arrival +
+                ctx.idealBusy[static_cast<std::size_t>(Target::Isp)]);
+        end = std::max(
+            end, ctx.arrival +
+                ctx.idealBusy[static_cast<std::size_t>(Target::Pud)] /
+                    dram_.numBanks());
+        end = std::max(
+            end, ctx.arrival +
+                ctx.idealBusy[static_cast<std::size_t>(Target::Ifp)] /
+                    nand_.numDies());
+    } else if (opts_.drainResults) {
+        end = drainStream(ctx, end);
+    }
+    ctx.result.instrCount = ctx.prog->instrs.size();
+    ctx.result.execTime = end;
+    ctx.result.dmEnergyJ = ctx.energy.dataMovementJ();
+    ctx.result.computeEnergyJ = ctx.energy.computeJ();
+    return end;
+}
+
+void
+Engine::sessionReclaim(std::uint64_t base_page, std::uint64_t pages)
+{
+    const Lpn limit = std::min<std::uint64_t>(base_page + pages,
+                                              pageMeta_.size());
+    for (Lpn p = base_page; p < limit; ++p) {
+        auto it = dramPos_.find(p);
+        if (it != dramPos_.end()) {
+            dramLru_.erase(it->second);
+            dramPos_.erase(it);
+        }
+        pageMeta_[p] = PageMeta{};
+    }
+    for (auto &fifo : latchFifo_) {
+        fifo.erase(std::remove_if(fifo.begin(), fifo.end(),
+                                  [&](Lpn p) {
+                                      return p >= base_page &&
+                                          p < limit;
+                                  }),
+                   fifo.end());
+    }
+}
+
 sched::MultiRunResult
 Engine::run(std::vector<sched::StreamSpec> streams,
             const EngineOptions &opts)
 {
     if (streams.empty())
         throw std::invalid_argument("Engine: no streams to run");
-
-    // Lay streams out in disjoint logical-page regions, in spec
-    // order, and build their execution contexts. The contexts are
-    // kept alive on the engine after the run so post-run feature
-    // probes (features()) still see completion state — matching the
-    // pre-scheduler engine, whose completion vector persisted.
-    std::vector<sched::ExecContext> &ctxs = streamCtxs_;
-    ctx_ = nullptr;
-    ctxs.clear();
-    ctxs.reserve(streams.size());
     std::uint64_t total_pages = 0;
     for (const auto &s : streams) {
         if (!s.program || !s.policy)
             throw std::invalid_argument(
                 "Engine: StreamSpec needs a program and a policy");
-        ctxs.emplace_back(cfg_.energy);
-        sched::ExecContext &ctx = ctxs.back();
-        ctx.name = s.name.empty() ? s.program->name : s.name;
-        ctx.prog = s.program.get();
-        ctx.policy = s.policy.get();
-        ctx.ideal = s.policy->ideal();
-        ctx.base = total_pages;
-        ctx.pages = s.program->footprintPages;
-        total_pages += ctx.pages;
-        ctx.completion.assign(s.program->instrs.size(), 0);
-        ctx.result.workload = ctx.name;
-        ctx.result.policy = s.policy->name();
+        total_pages += s.program->footprintPages;
     }
 
-    prepare(total_pages, opts);
-
-    EventQueue queue;
-    sched::StreamScheduler scheduler(*this, queue);
-    for (auto &ctx : ctxs)
-        scheduler.add(ctx);
-    scheduler.run();
+    // The batch run is one session: streams laid out in disjoint
+    // page regions in spec order, all attached at tick 0. The
+    // contexts are kept alive on the engine after the run so
+    // post-run feature probes (features()) still see completion
+    // state — matching the pre-scheduler engine, whose completion
+    // vector persisted.
+    sessionBegin(total_pages, opts);
+    std::uint64_t base = 0;
+    for (const auto &s : streams) {
+        sessionAttach(s, base, 0);
+        base += s.program->footprintPages;
+    }
+    queue_->run();
 
     sched::MultiRunResult mr;
-    mr.eventsFired = queue.eventsFired();
-    for (auto &ctx : ctxs) {
-        Tick end = ctx.execEnd;
-        if (ctx.ideal) {
-            // "No resource contention" still cannot beat the
-            // aggregate capacity of each resource class: one
-            // controller core, all DRAM banks, all flash dies
-            // perfectly load-balanced.
-            end = std::max(
-                end,
-                ctx.idealBusy[static_cast<std::size_t>(Target::Isp)]);
-            end = std::max(
-                end,
-                ctx.idealBusy[static_cast<std::size_t>(Target::Pud)] /
-                    dram_.numBanks());
-            end = std::max(
-                end,
-                ctx.idealBusy[static_cast<std::size_t>(Target::Ifp)] /
-                    nand_.numDies());
-        } else if (opts.drainResults) {
-            end = drainStream(ctx, end);
-        }
-        ctx.result.instrCount = ctx.prog->instrs.size();
-        ctx.result.execTime = end;
-        ctx.result.dmEnergyJ = ctx.energy.dataMovementJ();
-        ctx.result.computeEnergyJ = ctx.energy.computeJ();
+    mr.eventsFired = queue_->eventsFired();
+    for (auto &ctx : streamCtxs_) {
+        const Tick end = sessionFinish(ctx);
         mr.makespan = std::max(mr.makespan, end);
         mr.streams.push_back(std::move(ctx.result));
     }
 
-    // Device-level aggregate across tenants.
-    RunResult &agg = mr.aggregate;
-    for (const RunResult &r : mr.streams) {
-        if (!agg.workload.empty()) {
-            agg.workload += "+";
-            agg.policy += "+";
-        }
-        agg.workload += r.workload;
-        agg.policy += r.policy;
-        agg.instrCount += r.instrCount;
-        for (std::size_t i = 0; i < kNumTargets; ++i)
-            agg.perResource[i] += r.perResource[i];
-        agg.latencyUs.merge(r.latencyUs);
-        agg.dmEnergyJ += r.dmEnergyJ;
-        agg.computeEnergyJ += r.computeEnergyJ;
-        agg.computeBusy += r.computeBusy;
-        agg.internalDmBusy += r.internalDmBusy;
-        agg.flashReadBusy += r.flashReadBusy;
-        agg.hostDmBusy += r.hostDmBusy;
-        agg.offloaderBusy += r.offloaderBusy;
-        agg.faultsInjected += r.faultsInjected;
-        agg.replays += r.replays;
-        agg.coherenceCommits += r.coherenceCommits;
-        agg.latchEvictions += r.latchEvictions;
-    }
-    agg.execTime = mr.makespan;
+    mr.aggregate = aggregateResults(mr.streams);
+    mr.aggregate.execTime = mr.makespan;
     // Leave the first stream active so external feature probes
     // address pages and dependence state exactly as that stream's
     // dispatches did (single-stream: the whole device). The program
     // and policy are borrowed from the caller and may die with this
     // call — null the borrows so nothing can dereference them later.
-    for (auto &ctx : ctxs) {
+    for (auto &ctx : streamCtxs_) {
         ctx.prog = nullptr;
         ctx.policy = nullptr;
     }
-    ctx_ = &ctxs.front();
+    ctx_ = &streamCtxs_.front();
     return mr;
+}
+
+void
+accumulateResult(RunResult &agg, const RunResult &r)
+{
+    if (!agg.workload.empty()) {
+        agg.workload += "+";
+        agg.policy += "+";
+    }
+    agg.workload += r.workload;
+    agg.policy += r.policy;
+    agg.instrCount += r.instrCount;
+    for (std::size_t i = 0; i < kNumTargets; ++i)
+        agg.perResource[i] += r.perResource[i];
+    agg.latencyUs.merge(r.latencyUs);
+    agg.dmEnergyJ += r.dmEnergyJ;
+    agg.computeEnergyJ += r.computeEnergyJ;
+    agg.computeBusy += r.computeBusy;
+    agg.internalDmBusy += r.internalDmBusy;
+    agg.flashReadBusy += r.flashReadBusy;
+    agg.hostDmBusy += r.hostDmBusy;
+    agg.offloaderBusy += r.offloaderBusy;
+    agg.faultsInjected += r.faultsInjected;
+    agg.replays += r.replays;
+    agg.coherenceCommits += r.coherenceCommits;
+    agg.latchEvictions += r.latchEvictions;
+}
+
+RunResult
+aggregateResults(const std::vector<RunResult> &streams)
+{
+    RunResult agg;
+    for (const RunResult &r : streams)
+        accumulateResult(agg, r);
+    return agg;
 }
 
 } // namespace conduit

@@ -98,6 +98,66 @@ class Engine : public sched::StreamDispatcher
                               const EngineOptions &opts = {});
 
     /**
+     * @name Persistent-session API
+     *
+     * The long-lived device mode behind core::Device: one prepared
+     * SSD accepts streams ("jobs") over its lifetime instead of all
+     * at prepare() time. Streams attach at arbitrary simulated ticks
+     * into caller-assigned page regions, the shared event queue
+     * persists between job submissions, and a finished stream's
+     * region can be reclaimed for later jobs. Engine::run() is the
+     * batch special case: one session, every stream attached at tick
+     * 0, finished in attach order at quiescence.
+     * @{
+     */
+
+    /**
+     * Open a session: prepare a fresh device whose logical-page pool
+     * spans @p capacity_pages, with a fresh event queue + scheduler.
+     * Invalidates all streams of any previous session.
+     */
+    void sessionBegin(std::uint64_t capacity_pages,
+                      const EngineOptions &opts);
+
+    /**
+     * Attach a stream whose first dispatch fires at @p arrival, in
+     * the region [base_page, base_page + footprint). The returned
+     * context stays valid (stable address) until the next
+     * sessionBegin(). The caller owns region assignment — regions of
+     * concurrently attached streams must not overlap.
+     */
+    sched::ExecContext &sessionAttach(const sched::StreamSpec &spec,
+                                      std::uint64_t base_page,
+                                      Tick arrival);
+
+    /**
+     * Finish one stream: apply the Ideal aggregate-capacity clamp or
+     * drain dirty result pages to the host, then finalize its
+     * RunResult (instruction count, execTime, energy). Call once per
+     * stream, after its last completion event fired.
+     * @return The stream's end tick (drain included).
+     */
+    Tick sessionFinish(sched::ExecContext &ctx);
+
+    /**
+     * Return a finished stream's page region to a reusable state:
+     * coherence metadata reset, DRAM-staging and latch residency
+     * purged. The FTL keeps its mappings (a later job's writes go
+     * out-of-place as usual) and wear state — the device has
+     * history, unlike a fresh Engine.
+     */
+    void sessionReclaim(std::uint64_t base_page, std::uint64_t pages);
+
+    /** The session's event queue (valid after sessionBegin). */
+    EventQueue &sessionQueue() { return *queue_; }
+    const EventQueue &sessionQueue() const { return *queue_; }
+
+    /** The session's scheduler (valid after sessionBegin). */
+    sched::StreamScheduler &sessionScheduler() { return *scheduler_; }
+
+    /** @} */
+
+    /**
      * Feature vector for @p instr at time @p now (testable). The
      * queue/bandwidth terms are live views of the shared resource
      * calendars; during a multi-stream run they include every other
@@ -134,9 +194,12 @@ class Engine : public sched::StreamDispatcher
     /**
      * One dispatch-pipeline step for @p ctx's next instruction:
      * offloader stage, decision, movement, reservation, recording.
-     * Invoked by the StreamScheduler per dispatch event.
+     * Invoked by the StreamScheduler per dispatch event; @p now (the
+     * event's tick) floors shared-resource acquisition so streams
+     * arriving mid-run cannot claim pre-arrival capacity.
      */
-    sched::DispatchOutcome dispatchNext(sched::ExecContext &ctx) override;
+    sched::DispatchOutcome dispatchNext(sched::ExecContext &ctx,
+                                        Tick now) override;
 
     void prepare(std::uint64_t total_pages, const EngineOptions &opts);
 
@@ -222,10 +285,16 @@ class Engine : public sched::StreamDispatcher
     std::vector<std::deque<Lpn>> latchFifo_; // per die
 
     /**
-     * The run's execution contexts, in stream order; kept after the
-     * run so feature probes can consult completion state.
+     * The session's execution contexts, in attach order; a deque so
+     * addresses stay stable while a persistent session keeps
+     * attaching streams. Kept after a run so feature probes can
+     * consult completion state.
      */
-    std::vector<sched::ExecContext> streamCtxs_;
+    std::deque<sched::ExecContext> streamCtxs_;
+
+    /** Session event queue + scheduler (created by sessionBegin). */
+    std::unique_ptr<EventQueue> queue_;
+    std::unique_ptr<sched::StreamScheduler> scheduler_;
 
     /**
      * Stream whose dispatch (or drain) is currently being serviced;
@@ -241,6 +310,16 @@ class Engine : public sched::StreamDispatcher
     std::list<Lpn> dramLru_;
     std::unordered_map<Lpn, std::list<Lpn>::iterator> dramPos_;
 };
+
+/**
+ * Fold @p r into @p agg: label joining ("+"), counter and busy-time
+ * sums, latency-histogram merge. Shared by Engine::run's aggregate
+ * and core::Device snapshots so both report identically.
+ */
+void accumulateResult(RunResult &agg, const RunResult &r);
+
+/** Device-level aggregate over per-stream results, in order. */
+RunResult aggregateResults(const std::vector<RunResult> &streams);
 
 } // namespace conduit
 

@@ -1,6 +1,6 @@
-#include "src/runner/program_cache.hh"
+#include "src/core/program_cache.hh"
 
-namespace conduit::runner
+namespace conduit
 {
 
 std::shared_ptr<const VectorizedProgram>
@@ -54,4 +54,4 @@ ProgramCache::size() const
     return cache_.size();
 }
 
-} // namespace conduit::runner
+} // namespace conduit

@@ -15,6 +15,12 @@ vecOptionsFor(const SsdConfig &cfg)
     return vo;
 }
 
+DeviceOptions
+deviceOptionsFor(const SimOptions &opts)
+{
+    return makeDeviceOptions(opts.config, opts.engine, opts.workload);
+}
+
 } // namespace
 
 Simulation::Simulation(SimOptions opts)
@@ -25,19 +31,11 @@ Simulation::Simulation(SimOptions opts)
 const VectorizedProgram &
 Simulation::compile(WorkloadId id)
 {
-    // std::map never invalidates references on insert, so entries
-    // can be handed out by reference while the lock is dropped.
-    {
-        std::lock_guard<std::mutex> lock(cacheMu_);
-        auto it = cache_.find(id);
-        if (it != cache_.end())
-            return it->second;
-    }
-    const LoopProgram lp = buildWorkload(id, opts_.workload);
-    VectorizedProgram vp = vectorizer_.run(lp);
-    std::lock_guard<std::mutex> lock(cacheMu_);
-    auto [pos, inserted] = cache_.emplace(id, std::move(vp));
-    return pos->second;
+    // Compile-once: concurrent first callers for the same workload
+    // block on one shared compilation (no duplicate compile whose
+    // loser is discarded). The cache keeps the entry alive for the
+    // Simulation's lifetime, so handing out a reference is safe.
+    return *cache_.get(id, opts_.workload, opts_.config);
 }
 
 VectorizedProgram
@@ -62,10 +60,18 @@ Simulation::run(WorkloadId id, OffloadPolicy &policy)
 RunResult
 Simulation::runProgram(const Program &prog, OffloadPolicy &policy)
 {
-    // Fresh engine (fresh device state) per run, as in the paper's
-    // methodology: every technique starts from the same cold SSD.
-    Engine engine(opts_.config);
-    return engine.run(prog, policy, opts_.engine);
+    // One job, tick-0 arrival, fresh device — the paper's cold-SSD
+    // methodology, expressed as the smallest possible Device use.
+    // The program and policy are borrowed from the caller for the
+    // duration of the call (non-owning aliases).
+    Device dev(deviceOptionsFor(opts_));
+    JobSpec job;
+    job.program = std::shared_ptr<const Program>(
+        std::shared_ptr<const void>(), &prog);
+    job.policyObj = std::shared_ptr<OffloadPolicy>(
+        std::shared_ptr<void>(), &policy);
+    const JobId id = dev.submit(job);
+    return dev.wait(id).result;
 }
 
 sched::MultiRunResult
@@ -90,10 +96,11 @@ Simulation::runMulti(const std::vector<Tenant> &tenants)
 sched::MultiRunResult
 Simulation::runStreams(std::vector<sched::StreamSpec> streams)
 {
-    // Fresh engine (fresh device state) per run, as in the paper's
-    // methodology.
-    Engine engine(opts_.config);
-    return engine.run(std::move(streams), opts_.engine);
+    // Fresh device, every stream submitted as a job arriving at tick
+    // 0: byte-identical to the batch engine run (same region layout,
+    // event sequence, and submission-order retirement).
+    return runStreamsOnDevice(deviceOptionsFor(opts_),
+                              std::move(streams));
 }
 
 RunResult
@@ -118,6 +125,12 @@ Simulation::runHostProgram(const Program &prog, bool gpu) const
     r.dmEnergyJ = hr.dmEnergyJ;
     r.computeEnergyJ = hr.computeEnergyJ;
     return r;
+}
+
+Device
+Simulation::makeDevice() const
+{
+    return Device(deviceOptionsFor(opts_));
 }
 
 } // namespace conduit

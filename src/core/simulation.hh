@@ -7,16 +7,23 @@
  * metadata embedding), and executes them under any offloading policy
  * or host baseline — returning the RunResult records the benches and
  * examples consume.
+ *
+ * Every SSD entry point is a thin wrapper over core::Device: run()
+ * submits one job to a fresh device, runMulti()/runStreams() submit
+ * N jobs arriving simultaneously at tick 0. The wrappers exist for
+ * the paper's closed-form methodology (every technique starts from
+ * the same cold SSD); hold a Device directly for open-loop arrivals,
+ * dynamic submission, and long-lived device state.
  */
 
 #ifndef CONDUIT_CORE_SIMULATION_HH
 #define CONDUIT_CORE_SIMULATION_HH
 
-#include <map>
-#include <mutex>
 #include <string>
 
+#include "src/core/device.hh"
 #include "src/core/engine.hh"
+#include "src/core/program_cache.hh"
 #include "src/host/host_model.hh"
 #include "src/vectorizer/vectorizer.hh"
 #include "src/workloads/workloads.hh"
@@ -48,12 +55,12 @@ class Simulation
     /**
      * Compile-time preprocessing for a workload (cached).
      *
-     * Thread-safe: the returned reference stays valid for the
-     * lifetime of the Simulation and entries are immutable once
-     * inserted. Concurrent first calls for the same workload may
-     * both compile (the loser's result is discarded); use
-     * runner::ProgramCache for guaranteed compile-once sharing
-     * across sweep workers.
+     * Thread-safe and compile-once: concurrent first calls for the
+     * same workload block on one shared compilation instead of
+     * racing (the facade cache is a core::ProgramCache, the same
+     * compile-once path the sweep runner uses). The returned
+     * reference stays valid for the lifetime of the Simulation and
+     * entries are immutable once inserted.
      */
     const VectorizedProgram &compile(WorkloadId id);
 
@@ -70,7 +77,10 @@ class Simulation
     /** Run with an externally constructed policy object. */
     RunResult run(WorkloadId id, OffloadPolicy &policy);
 
-    /** Run a pre-compiled program under a policy. */
+    /**
+     * Run a pre-compiled program under a policy: one job on a fresh
+     * Device (wrapper — byte-identical to the pre-Device engine).
+     */
     RunResult runProgram(const Program &prog, OffloadPolicy &policy);
 
     /** One tenant of a multi-stream run: workload + policy name. */
@@ -84,7 +94,8 @@ class Simulation
      * Co-run several tenants concurrently on ONE simulated SSD (the
      * event-driven multi-stream engine): each tenant's instruction
      * stream executes under its own policy while all streams contend
-     * for the shared device. Returns per-stream results in tenant
+     * for the shared device. A wrapper over core::Device with every
+     * job arriving at tick 0. Returns per-stream results in tenant
      * order plus the device aggregate.
      */
     sched::MultiRunResult runMulti(const std::vector<Tenant> &tenants);
@@ -99,13 +110,18 @@ class Simulation
     /** Host baseline for a pre-compiled program. */
     RunResult runHostProgram(const Program &prog, bool gpu) const;
 
+    /**
+     * A fresh persistent device under this facade's options, for
+     * callers graduating from batch runs to dynamic job submission.
+     */
+    Device makeDevice() const;
+
     const SimOptions &options() const { return opts_; }
 
   private:
     SimOptions opts_;
     Vectorizer vectorizer_;
-    std::mutex cacheMu_;
-    std::map<WorkloadId, VectorizedProgram> cache_;
+    ProgramCache cache_;
 };
 
 } // namespace conduit

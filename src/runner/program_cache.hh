@@ -1,56 +1,21 @@
 /**
  * @file
- * Thread-safe, shared, immutable compile cache.
- *
- * Many cells of a sweep matrix run the same compiled workload under
- * different policies or device configurations. The cache compiles
- * each distinct (workload, scale, vectorizer-geometry) combination
- * exactly once — even under concurrent first requests — and hands
- * every run a shared pointer to the immutable result, so concurrent
- * runs share nothing mutable.
+ * Compatibility alias: the compile-once ProgramCache moved to
+ * src/core so the Simulation facade and the persistent core::Device
+ * share the same cache type as the sweep runner. Existing
+ * runner-facing includes and the conduit::runner::ProgramCache name
+ * keep working through this header.
  */
 
 #ifndef CONDUIT_RUNNER_PROGRAM_CACHE_HH
 #define CONDUIT_RUNNER_PROGRAM_CACHE_HH
 
-#include <future>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <tuple>
-
-#include "src/sim/config.hh"
-#include "src/vectorizer/vectorizer.hh"
-#include "src/workloads/workloads.hh"
+#include "src/core/program_cache.hh"
 
 namespace conduit::runner
 {
 
-/** Compile-once cache of vectorized workload programs. */
-class ProgramCache
-{
-  public:
-    /**
-     * Compile @p id at @p params under @p cfg's vectorizer geometry,
-     * or return the previously compiled program. Safe to call from
-     * any number of threads; a given key is compiled exactly once.
-     */
-    std::shared_ptr<const VectorizedProgram>
-    get(WorkloadId id, const WorkloadParams &params,
-        const SsdConfig &cfg);
-
-    /** Number of distinct programs compiled so far. */
-    std::size_t size() const;
-
-  private:
-    /** (workload, scale, lanes, pageBytes) — what the output depends on. */
-    using Key = std::tuple<int, double, std::uint32_t, std::uint32_t>;
-
-    mutable std::mutex mu_;
-    std::map<Key, std::shared_future<
-                      std::shared_ptr<const VectorizedProgram>>>
-        cache_;
-};
+using conduit::ProgramCache;
 
 } // namespace conduit::runner
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/arrival.hh"
 #include "src/core/engine.hh"
 #include "src/offload/policy.hh"
 #include "src/sim/config.hh"
@@ -154,6 +155,73 @@ struct MultiRunSpec
 
     /** The co-running tenants, in result order. */
     std::vector<StreamSlot> streams;
+
+    /**
+     * Execute the cell through the persistent-device job API
+     * (core::Device, every stream a tick-0 job) instead of the
+     * direct batch engine run. Results are byte-identical by the
+     * Device equivalence contract — this switch exists so CI can
+     * diff the two paths against each other.
+     */
+    bool viaDevice = false;
+};
+
+/**
+ * One offered-load cell: an open-loop stream of identical jobs
+ * offered to a persistent Device at a given arrival rate. The cell
+ * is one deterministic device lifetime (arrivals included), so a
+ * set of cells sweeps across worker threads exactly like RunSpecs.
+ */
+struct LoadRunSpec
+{
+    /**
+     * Row label; left empty it defaults to the workload's display
+     * name (or the program's own name) in runLoad and makeLoadRow.
+     */
+    std::string workload;
+
+    /** Policy every job runs under (resolved via makePolicy). */
+    std::string technique = "Conduit";
+
+    /** Custom policy constructor overriding makePolicy(technique). */
+    PolicyFactory policy;
+
+    /** Device configuration for the cell. */
+    SsdConfig config = defaultSweepConfig();
+
+    /** Engine options (device-wide). */
+    EngineOptions engine;
+
+    /** Workload-generator knobs. */
+    WorkloadParams params;
+
+    /** Workload each job executes (via the shared compile cache). */
+    std::optional<WorkloadId> workloadId;
+
+    /** Pre-compiled program overriding @ref workloadId. */
+    std::shared_ptr<const Program> program;
+
+    /** Jobs offered over the cell's lifetime. */
+    std::size_t jobs = 8;
+
+    /**
+     * Offered load in jobs per simulated second. 0 submits every
+     * job at tick 0 (the closed-form batch degenerate case).
+     */
+    double jobsPerSec = 0.0;
+
+    /** Arrival-process family (mean spacing is 1 / jobsPerSec). */
+    ArrivalKind arrivals = ArrivalKind::Poisson;
+
+    /** Seed for the randomized arrival processes. */
+    std::uint64_t arrivalSeed = 1;
+
+    /**
+     * Device logical-page pool; 0 auto-sizes to the whole offered
+     * job set (every job admitted on arrival; queueing then happens
+     * only on device resources, not admission).
+     */
+    std::uint64_t capacityPages = 0;
 };
 
 /**

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/offload/policy.hh"
+
 namespace conduit::runner
 {
 
@@ -13,14 +15,17 @@ namespace
 {
 
 [[noreturn]] void
-usage(const char *prog, int code)
+usage(const char *prog, int code, const char *extra_usage = nullptr)
 {
     std::fprintf(
         stderr,
         "usage: %s [--threads N] [--scale X] [--workloads a,b]\n"
         "          [--techniques a,b] [--csv PATH] [--json PATH]\n"
-        "          [--list-workloads] [--list-techniques]\n",
+        "          [--list-workloads] [--list-techniques]\n"
+        "          [--list-policies]\n",
         prog);
+    if (extra_usage)
+        std::fputs(extra_usage, stderr);
     std::exit(code);
 }
 
@@ -63,25 +68,29 @@ parseDouble(const char *prog, const std::string &flag,
 } // namespace
 
 SweepCli
-SweepCli::parse(int argc, char **argv)
+SweepCli::parse(int argc, char **argv, const FlagHandler &extra,
+                const char *extra_usage)
 {
     SweepCli cli;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        const auto value = [&]() -> std::string {
+        const std::function<std::string()> value =
+            [&]() -> std::string {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s: %s needs a value\n",
                              argv[0], arg.c_str());
-                usage(argv[0], 2);
+                usage(argv[0], 2, extra_usage);
             }
             return argv[++i];
         };
         if (arg == "--help" || arg == "-h")
-            usage(argv[0], 0);
+            usage(argv[0], 0, extra_usage);
         else if (arg == "--list-workloads")
             cli.listWorkloads = true;
         else if (arg == "--list-techniques")
             cli.listTechniques = true;
+        else if (arg == "--list-policies")
+            listAndExit(policyNames());
         else if (arg == "--threads")
             cli.threads = parseUnsigned(argv[0], arg, value());
         else if (arg == "--scale")
@@ -94,10 +103,12 @@ SweepCli::parse(int argc, char **argv)
             cli.csvPath = value();
         else if (arg == "--json")
             cli.jsonPath = value();
+        else if (extra && extra(arg, value))
+            continue;
         else {
             std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
                          arg.c_str());
-            usage(argv[0], 2);
+            usage(argv[0], 2, extra_usage);
         }
     }
     return cli;

@@ -12,6 +12,12 @@
  *   --json PATH        write machine-readable rows as JSON
  *   --list-workloads   print the workload names --workloads accepts
  *   --list-techniques  print the technique names --techniques accepts
+ *   --list-policies    print every name makePolicy() accepts
+ *
+ * Benches with cell shapes beyond the workload x technique matrix
+ * (e.g. bench_saturation's offered-load axis) register their extra
+ * flags through parse()'s handler hook, so every bench still rejects
+ * unknown flags and shares one usage surface.
  *
  * Sweep timing goes to stderr so stdout stays byte-identical across
  * thread counts (the reproducibility contract tests rely on).
@@ -20,6 +26,7 @@
 #ifndef CONDUIT_RUNNER_SWEEP_CLI_HH
 #define CONDUIT_RUNNER_SWEEP_CLI_HH
 
+#include <functional>
 #include <string>
 
 #include "src/runner/sweep_runner.hh"
@@ -47,10 +54,27 @@ struct SweepCli
     bool listTechniques = false;
 
     /**
-     * Parse argv; prints usage and exits on --help or bad flags.
-     * Unknown flags are an error (benches take nothing else).
+     * Bench-specific flag hook: called with each flag the shared
+     * parser does not recognize, plus a thunk that consumes and
+     * returns the flag's value (exits with usage if none is left).
+     * Return true when the flag was handled; false falls through to
+     * the unknown-flag error.
      */
-    static SweepCli parse(int argc, char **argv);
+    using FlagHandler = std::function<bool(
+        const std::string &flag,
+        const std::function<std::string()> &value)>;
+
+    /**
+     * Parse argv; prints usage and exits on --help or bad flags.
+     * Unknown flags are an error unless @p extra claims them;
+     * @p extra_usage (one "  --flag X  description" line per extra
+     * flag, newline-terminated) is appended to the usage text.
+     * --list-policies is serviced here — the policy table is global,
+     * unlike the per-bench matrix labels behind --list-workloads.
+     */
+    static SweepCli parse(int argc, char **argv,
+                          const FlagHandler &extra = {},
+                          const char *extra_usage = nullptr);
 
     /** SweepRunner options implied by the flags. */
     SweepOptions runnerOptions() const { return {threads}; }

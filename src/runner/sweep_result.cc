@@ -219,6 +219,125 @@ SweepResult::writeJsonFile(const std::string &path) const
     return static_cast<bool>(os);
 }
 
+namespace
+{
+
+std::vector<Field>
+loadRowFields(const LoadRow &r)
+{
+    return {
+        {"workload", r.workload, true},
+        {"technique", r.technique, true},
+        {"jobs_per_sec", fmtDouble(r.jobsPerSec), false},
+        {"jobs", std::to_string(r.jobs), false},
+        {"makespan_ms", fmtDouble(r.makespanMs), false},
+        {"throughput_jobs_per_sec",
+         fmtDouble(r.throughputJobsPerSec), false},
+        {"mean_sojourn_ms", fmtDouble(r.meanSojournMs), false},
+        {"latency_p50_us", fmtDouble(r.p50Us), false},
+        {"latency_p99_us", fmtDouble(r.p99Us), false},
+        {"latency_p9999_us", fmtDouble(r.p9999Us), false},
+    };
+}
+
+} // namespace
+
+LoadRow
+makeLoadRow(const LoadRunSpec &spec, const DeviceSnapshot &snap)
+{
+    LoadRow r;
+    r.workload = !spec.workload.empty() ? spec.workload
+        : spec.workloadId              ? workloadName(*spec.workloadId)
+        : spec.program                 ? spec.program->name
+                                       : std::string();
+    r.technique = spec.technique;
+    r.jobsPerSec = spec.jobsPerSec;
+    r.jobs = snap.jobs.size();
+    r.makespanMs = ticksToUs(snap.makespan) / 1000.0;
+    r.throughputJobsPerSec = snap.makespan == 0
+        ? 0.0
+        : static_cast<double>(snap.jobs.size()) /
+            ticksToSeconds(snap.makespan);
+    double sojourn = 0.0;
+    for (const JobResult &j : snap.jobs)
+        sojourn += ticksToUs(j.sojourn()) / 1000.0;
+    r.meanSojournMs = snap.jobs.empty()
+        ? 0.0
+        : sojourn / static_cast<double>(snap.jobs.size());
+    const Histogram &h = snap.aggregate.latencyUs;
+    r.p50Us = h.count() ? h.percentile(50) : 0.0;
+    r.p99Us = h.count() ? h.percentile(99) : 0.0;
+    r.p9999Us = h.count() ? h.percentile(99.99) : 0.0;
+    return r;
+}
+
+void
+writeLoadCsv(std::ostream &os, const std::vector<LoadRow> &rows)
+{
+    bool header_done = false;
+    for (const LoadRow &row : rows) {
+        const auto fields = loadRowFields(row);
+        if (!header_done) {
+            for (std::size_t f = 0; f < fields.size(); ++f)
+                os << (f ? "," : "") << fields[f].name;
+            os << "\n";
+            header_done = true;
+        }
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+            if (f)
+                os << ",";
+            if (fields[f].quoted)
+                os << '"' << fields[f].value << '"';
+            else
+                os << fields[f].value;
+        }
+        os << "\n";
+    }
+}
+
+void
+writeLoadJson(std::ostream &os, const std::vector<LoadRow> &rows)
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto fields = loadRowFields(rows[i]);
+        os << "  {";
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+            if (f)
+                os << ", ";
+            os << '"' << fields[f].name << "\": ";
+            if (fields[f].quoted)
+                os << '"' << jsonEscape(fields[f].value) << '"';
+            else
+                os << fields[f].value;
+        }
+        os << (i + 1 < rows.size() ? "},\n" : "}\n");
+    }
+    os << "]\n";
+}
+
+bool
+writeLoadCsvFile(const std::string &path,
+                 const std::vector<LoadRow> &rows)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeLoadCsv(os, rows);
+    return static_cast<bool>(os);
+}
+
+bool
+writeLoadJsonFile(const std::string &path,
+                  const std::vector<LoadRow> &rows)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeLoadJson(os, rows);
+    return static_cast<bool>(os);
+}
+
 double
 gmean(const std::vector<double> &xs)
 {

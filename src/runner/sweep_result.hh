@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/device.hh"
 #include "src/runner/run_spec.hh"
 
 namespace conduit::runner
@@ -82,6 +83,49 @@ class SweepResult
     double wallSeconds_ = 0.0;
     unsigned threads_ = 1;
 };
+
+/**
+ * One emitted row of an offered-load (saturation) sweep: a cell's
+ * operating point plus its throughput and latency-tail outcomes.
+ */
+struct LoadRow
+{
+    std::string workload;
+    std::string technique;
+
+    /** Offered load (jobs per simulated second; 0 = all at t=0). */
+    double jobsPerSec = 0.0;
+
+    /** Jobs the cell completed. */
+    std::uint64_t jobs = 0;
+
+    double makespanMs = 0.0;
+
+    /** Achieved completion rate: jobs / makespan. */
+    double throughputJobsPerSec = 0.0;
+
+    /** Mean job arrival-to-completion time. */
+    double meanSojournMs = 0.0;
+
+    /** Per-request (instruction) latency tail, device-wide. */
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p9999Us = 0.0;
+};
+
+/** Reduce an executed cell's snapshot to its emitted row. */
+LoadRow makeLoadRow(const LoadRunSpec &spec,
+                    const DeviceSnapshot &snap);
+
+/** @name Offered-load row emission (same contract as SweepResult's:
+ *  byte-identical output for identical specs, any thread count) @{ */
+void writeLoadCsv(std::ostream &os, const std::vector<LoadRow> &rows);
+void writeLoadJson(std::ostream &os, const std::vector<LoadRow> &rows);
+bool writeLoadCsvFile(const std::string &path,
+                      const std::vector<LoadRow> &rows);
+bool writeLoadJsonFile(const std::string &path,
+                       const std::vector<LoadRow> &rows);
+/** @} */
 
 /** Geometric mean of a vector of ratios (0 if empty). */
 double gmean(const std::vector<double> &xs);

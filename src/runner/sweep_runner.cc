@@ -160,9 +160,19 @@ SweepRunner::runMulti(const MultiRunSpec &spec)
         streams.push_back(std::move(s));
     }
 
-    Engine engine(spec.config);
-    sched::MultiRunResult mr =
-        engine.run(std::move(streams), spec.engine);
+    sched::MultiRunResult mr;
+    if (spec.viaDevice) {
+        // Same cell through the persistent-device job API: every
+        // stream a tick-0 job on one fresh Device. Byte-identical to
+        // the direct engine run (the Device equivalence contract —
+        // CI diffs the two paths).
+        mr = runStreamsOnDevice(
+            makeDeviceOptions(spec.config, spec.engine, spec.params),
+            std::move(streams));
+    } else {
+        Engine engine(spec.config);
+        mr = engine.run(std::move(streams), spec.engine);
+    }
     // Label per-stream results with the slot's display technique (a
     // custom policy object's own name may differ), and rebuild the
     // aggregate's joined label so both agree.
@@ -184,6 +194,71 @@ SweepRunner::runMultiAll(const std::vector<MultiRunSpec> &specs)
     std::vector<sched::MultiRunResult> results(specs.size());
     parallelFor(workerCount(specs.size()), specs.size(),
                 [&](std::size_t i) { results[i] = runMulti(specs[i]); });
+    return results;
+}
+
+DeviceSnapshot
+SweepRunner::runLoad(const LoadRunSpec &spec)
+{
+    if (spec.technique == "CPU" || spec.technique == "GPU")
+        throw std::invalid_argument(
+            "offered-load cells run on the SSD engine; host baseline "
+            "'" + spec.technique + "' cannot serve jobs: " +
+            spec.workload);
+    std::shared_ptr<const Program> prog = spec.program;
+    if (!prog) {
+        if (!spec.workloadId)
+            throw std::invalid_argument(
+                "LoadRunSpec has neither a program nor a workload: " +
+                spec.workload + "/" + spec.technique);
+        auto compiled =
+            cache_.get(*spec.workloadId, spec.params, spec.config);
+        prog = std::shared_ptr<const Program>(compiled,
+                                              &compiled->program);
+    }
+
+    DeviceOptions dopts =
+        makeDeviceOptions(spec.config, spec.engine, spec.params);
+    dopts.capacityPages = spec.capacityPages;
+    // Open-loop cells retire eagerly so page regions recycle while
+    // later arrivals are still in flight.
+    dopts.retire = RetirePolicy::OnComplete;
+    Device dev(dopts);
+
+    std::unique_ptr<ArrivalProcess> arrivals;
+    if (spec.jobsPerSec > 0.0) {
+        arrivals = makeArrivals(
+            spec.arrivals,
+            static_cast<double>(kPsPerS) / spec.jobsPerSec,
+            spec.arrivalSeed);
+    }
+    const std::string label = !spec.workload.empty() ? spec.workload
+        : spec.workloadId ? workloadName(*spec.workloadId)
+                          : prog->name;
+    Tick at = 0;
+    for (std::size_t i = 0; i < spec.jobs; ++i) {
+        if (arrivals)
+            at += arrivals->next();
+        JobSpec job;
+        job.name = label;
+        job.program = prog;
+        // Fresh policy object per job (policies may carry state).
+        job.policyObj = spec.policy
+            ? std::shared_ptr<OffloadPolicy>(spec.policy())
+            : std::shared_ptr<OffloadPolicy>(
+                  makePolicy(spec.technique));
+        job.arrival = at;
+        dev.submit(job);
+    }
+    return dev.drain();
+}
+
+std::vector<DeviceSnapshot>
+SweepRunner::runLoadAll(const std::vector<LoadRunSpec> &specs)
+{
+    std::vector<DeviceSnapshot> results(specs.size());
+    parallelFor(workerCount(specs.size()), specs.size(),
+                [&](std::size_t i) { results[i] = runLoad(specs[i]); });
     return results;
 }
 

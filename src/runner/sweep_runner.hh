@@ -14,6 +14,7 @@
 #ifndef CONDUIT_RUNNER_SWEEP_RUNNER_HH
 #define CONDUIT_RUNNER_SWEEP_RUNNER_HH
 
+#include "src/core/device.hh"
 #include "src/runner/program_cache.hh"
 #include "src/runner/run_spec.hh"
 #include "src/runner/sweep_result.hh"
@@ -60,6 +61,22 @@ class SweepRunner
      */
     std::vector<sched::MultiRunResult>
     runMultiAll(const std::vector<MultiRunSpec> &specs);
+
+    /**
+     * Execute one offered-load cell: a fresh persistent Device,
+     * @p spec.jobs jobs submitted open-loop at the spec's arrival
+     * rate, run to completion (eager retirement, so regions recycle
+     * under sustained load). Deterministic for equal specs.
+     */
+    DeviceSnapshot runLoad(const LoadRunSpec &spec);
+
+    /**
+     * Execute every offered-load cell across the worker pool and
+     * return snapshots in spec order (cells are independent device
+     * lifetimes, so results are thread-count invariant like run()).
+     */
+    std::vector<DeviceSnapshot>
+    runLoadAll(const std::vector<LoadRunSpec> &specs);
 
     /**
      * Worker threads a sweep of @p jobs cells would use: the

@@ -69,6 +69,9 @@ struct ExecContext
 
     /** Logical pages in the region (the program's footprint). */
     std::uint64_t pages = 0;
+
+    /** Simulated tick the stream joined the device (first dispatch). */
+    Tick arrival = 0;
     /** @} */
 
     /** @name Live state @{ */
@@ -81,6 +84,17 @@ struct ExecContext
 
     /** Latest completion seen so far (stream makespan, pre-drain). */
     Tick execEnd = 0;
+
+    /** Completion events scheduled but not yet fired. */
+    std::uint32_t outstanding = 0;
+
+    /**
+     * Every instruction dispatched AND every completion event fired.
+     * Set by the scheduler inside the last completion event (or at
+     * add() for an empty program); a persistent device retires the
+     * stream's job once this flips.
+     */
+    bool finished = false;
 
     /** Aggregate per-resource compute time in Ideal mode. */
     std::array<Tick, kNumTargets> idealBusy{};

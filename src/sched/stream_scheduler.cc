@@ -12,26 +12,42 @@ StreamScheduler::StreamScheduler(StreamDispatcher &dispatcher,
 }
 
 void
-StreamScheduler::add(ExecContext &ctx)
+StreamScheduler::add(ExecContext &ctx, Tick arrival)
 {
-    if (ctx.done())
-        return; // empty program: nothing to dispatch
-    // All first dispatches land on tick 0; the queue's sequence
-    // numbers give streams their first offloader slots in add()
-    // order, after which simulated time takes over.
+    ctx.arrival = arrival;
+    if (ctx.done()) {
+        // Empty program: nothing to dispatch, finished on arrival.
+        ctx.finished = true;
+        return;
+    }
+    // Same-tick first dispatches fire in add() order (the queue's
+    // sequence numbers give streams their first offloader slots in
+    // registration order), after which simulated time takes over.
+    // A future arrival tick simply schedules the stream's first
+    // dispatch there — the arrival event of an open-loop run.
     queue_.schedule(
-        0, [this, &ctx] { onDispatch(ctx); }, kDispatchPriority);
+        std::max(queue_.now(), arrival),
+        [this, &ctx] { onDispatch(ctx); }, kDispatchPriority);
 }
 
 void
 StreamScheduler::onDispatch(ExecContext &ctx)
 {
-    const DispatchOutcome out = dispatcher_.dispatchNext(ctx);
+    const DispatchOutcome out = dispatcher_.dispatchNext(ctx, queue_.now());
 
     const Tick done = std::max(queue_.now(), out.completion);
+    ++ctx.outstanding;
     queue_.schedule(
         done,
-        [&ctx, done] { ctx.execEnd = std::max(ctx.execEnd, done); },
+        [this, &ctx, done] {
+            ctx.execEnd = std::max(ctx.execEnd, done);
+            --ctx.outstanding;
+            if (ctx.done() && ctx.outstanding == 0) {
+                ctx.finished = true;
+                if (streamDone_)
+                    streamDone_(ctx);
+            }
+        },
         kCompletionPriority);
 
     if (!ctx.done()) {

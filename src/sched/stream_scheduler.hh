@@ -31,6 +31,8 @@
 #ifndef CONDUIT_SCHED_STREAM_SCHEDULER_HH
 #define CONDUIT_SCHED_STREAM_SCHEDULER_HH
 
+#include <functional>
+
 #include "src/sched/exec_context.hh"
 #include "src/sim/event_queue.hh"
 
@@ -59,9 +61,12 @@ class StreamDispatcher
 
     /**
      * Execute the pipeline for @p ctx's next instruction (advancing
-     * ctx.pc) and return the resulting event times.
+     * ctx.pc) and return the resulting event times. @p now is the
+     * simulated time of the dispatch event, which gates shared-
+     * resource acquisition so a stream that joined the device at a
+     * later tick cannot consume capacity from before its arrival.
      */
-    virtual DispatchOutcome dispatchNext(ExecContext &ctx) = 0;
+    virtual DispatchOutcome dispatchNext(ExecContext &ctx, Tick now) = 0;
 };
 
 /** Drives N streams' dispatch chains as events on one queue. */
@@ -72,14 +77,31 @@ class StreamScheduler
     static constexpr int kDispatchPriority = 0;
     static constexpr int kCompletionPriority = 1;
 
+    /** Invoked inside a stream's final completion event. */
+    using StreamDone = std::function<void(ExecContext &)>;
+
     StreamScheduler(StreamDispatcher &dispatcher, EventQueue &queue);
 
     /**
-     * Register a stream and schedule its first dispatch at tick 0.
+     * Register a stream and schedule its first dispatch at tick
+     * @p arrival (default: tick 0, the classic batch run). Streams
+     * may join at any future simulated tick — the arrival event
+     * model behind open-loop job submission. An empty program is
+     * marked finished immediately and never dispatches.
+     *
      * The context must outlive the scheduler's run() — the event
      * callbacks hold references.
      */
-    void add(ExecContext &ctx);
+    void add(ExecContext &ctx, Tick arrival = 0);
+
+    /**
+     * Register a callback fired when a stream finishes (all
+     * instructions dispatched and every completion event fired).
+     * Runs inside the final completion event, so a persistent device
+     * can retire the job — drain results, reclaim its page region,
+     * admit queued jobs — at a deterministic point in simulated time.
+     */
+    void setStreamDone(StreamDone cb) { streamDone_ = std::move(cb); }
 
     /** Run the event loop until every stream's chain has drained. */
     void run();
@@ -89,6 +111,7 @@ class StreamScheduler
 
     StreamDispatcher &dispatcher_;
     EventQueue &queue_;
+    StreamDone streamDone_;
 };
 
 } // namespace conduit::sched

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Simulator self-performance: how fast the simulator itself runs.
+ *
+ * Every paper figure is now swept through the runner/Device
+ * subsystems, so simulator wall-clock speed bounds how many scenario
+ * cells a sweep can cover. This bench measures that speed and emits
+ * a machine-readable record (BENCH_selfperf.json by default, or the
+ * --json path), seeding the repo's performance trajectory: commit
+ * the JSON, and later PRs diff against it.
+ *
+ * Two layers are measured:
+ *
+ * 1. An event-kernel microbench: raw EventQueue throughput on the
+ *    three shapes real runs produce — a dispatch chain (each
+ *    callback schedules its successor), a pre-populated fan of
+ *    events, and a cancel-heavy rolling window (the open-loop Device
+ *    pattern). Reported as events (or schedule+cancel pairs) per
+ *    second of wall time.
+ *
+ * 2. Three representative end-to-end scenarios, timed around the
+ *    SweepRunner entry points (SweepPerf hooks):
+ *      - fig07a-reduced: the CI smoke matrix (AES + jacobi-1d under
+ *        CPU / Conduit / DM-Offloading / Ideal),
+ *      - multi-tenant-8: eight tenant streams co-run on one SSD,
+ *      - open-loop-saturation: one saturation cell past the knee
+ *        (pseudo-Poisson arrivals at 2x the calibrated base rate).
+ *    Each scenario runs --repeat times (default 3); wall-clock
+ *    minimum and mean are recorded, events/sec uses the minimum.
+ *
+ * Simulated results are byte-identical across repeats, thread
+ * counts, and wall-clock-only kernel changes — stdout prints only
+ * simulated digests (deterministic), wall-clock numbers go to
+ * stderr and the JSON. CI reproduces the three scenarios through
+ * the pre-existing bench CLIs and diffs base vs branch.
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+
+#include "bench/common.hh"
+#include "src/sim/event_queue.hh"
+
+namespace
+{
+
+using namespace conduit;
+using namespace conduit::bench;
+using conduit::runner::LoadRunSpec;
+using conduit::runner::MultiRunSpec;
+using conduit::runner::SweepPerf;
+using conduit::runner::StreamSlot;
+
+double
+seconds(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Microbench result: operations and the wall time they took. */
+struct MicroResult
+{
+    std::uint64_t ops = 0;
+    double wallSeconds = 0.0;
+
+    double
+    opsPerSec() const
+    {
+        return wallSeconds > 0.0
+            ? static_cast<double>(ops) / wallSeconds
+            : 0.0;
+    }
+};
+
+/** Dispatch-chain shape: every callback schedules its successor. */
+MicroResult
+microChain(std::uint64_t events)
+{
+    EventQueue q;
+    std::uint64_t remaining = events;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::function<void()> next; // self-referencing chain body
+    next = [&] {
+        if (--remaining > 0)
+            q.scheduleAfter(1, [&] { next(); });
+    };
+    q.schedule(0, [&] { next(); });
+    q.run();
+    return {events, seconds(t0)};
+}
+
+/** Fan shape: all events scheduled up front, then drained. */
+MicroResult
+microFan(std::uint64_t events)
+{
+    EventQueue q;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t fired = 0;
+    // Interleaved ticks and priorities exercise the heap ordering.
+    for (std::uint64_t i = 0; i < events; ++i) {
+        q.schedule((i * 7919) % events,
+                   [&fired] { ++fired; },
+                   static_cast<int>(i & 3));
+    }
+    q.run();
+    return {fired, seconds(t0)};
+}
+
+/** Open-loop shape: rolling window of schedule + cancel pairs. */
+MicroResult
+microCancel(std::uint64_t pairs)
+{
+    EventQueue q;
+    std::deque<EventId> window;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < pairs; ++i) {
+        window.push_back(
+            q.schedule(static_cast<Tick>(pairs + i), [] {}));
+        if (window.size() > 512) {
+            q.cancel(window.front());
+            window.pop_front();
+        }
+    }
+    q.run();
+    return {pairs, seconds(t0)};
+}
+
+/** One timed scenario: simulated digest + wall-clock statistics. */
+struct ScenarioResult
+{
+    std::string name;
+    std::size_t cells = 0;
+    std::uint64_t eventsFired = 0;
+    double wallMin = 0.0;
+    double wallMean = 0.0;
+    /** Deterministic simulated digest lines for stdout. */
+    std::vector<std::string> digest;
+
+    double
+    eventsPerSec() const
+    {
+        return wallMin > 0.0
+            ? static_cast<double>(eventsFired) / wallMin
+            : 0.0;
+    }
+};
+
+void
+fold(ScenarioResult &r, const SweepPerf &perf, int rep)
+{
+    r.cells = perf.cells;
+    r.eventsFired = perf.eventsFired;
+    r.wallMin = rep == 0 ? perf.wallSeconds
+                         : std::min(r.wallMin, perf.wallSeconds);
+    r.wallMean += perf.wallSeconds;
+}
+
+std::string
+digestLine(const std::string &label, Tick exec)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%-28s %20llu ticks",
+                  label.c_str(),
+                  static_cast<unsigned long long>(exec));
+    return buf;
+}
+
+ScenarioResult
+scenarioFig07aReduced(SweepRunner &runner, const SweepCli &cli,
+                      int repeat)
+{
+    ScenarioResult r;
+    r.name = "fig07a-reduced";
+    RunMatrix matrix;
+    matrix.workloads({WorkloadId::Aes, WorkloadId::Jacobi1d});
+    matrix.technique("CPU");
+    matrix.techniques({"Conduit", "DM-Offloading", "Ideal"});
+    WorkloadParams params;
+    params.scale = cli.scale;
+    matrix.params(params);
+
+    SweepResult sweep;
+    for (int rep = 0; rep < repeat; ++rep) {
+        sweep = runner.run(matrix.build());
+        fold(r, runner.lastPerf(), rep);
+    }
+    r.wallMean /= repeat;
+    for (const auto &w : sweep.workloadLabels())
+        for (const auto &t : sweep.techniqueLabels())
+            r.digest.push_back(
+                digestLine(w + "/" + t, sweep.at(w, t).execTime));
+    return r;
+}
+
+ScenarioResult
+scenarioMultiTenant8(SweepRunner &runner, const SweepCli &cli,
+                     int repeat)
+{
+    ScenarioResult r;
+    r.name = "multi-tenant-8";
+    MultiRunSpec cell;
+    cell.label = "multi-tenant-8";
+    cell.params.scale = cli.scale;
+    const WorkloadId tenants[] = {
+        WorkloadId::Aes, WorkloadId::XorFilter, WorkloadId::Jacobi1d,
+        WorkloadId::LlamaInference};
+    for (int copy = 0; copy < 2; ++copy) {
+        for (WorkloadId id : tenants) {
+            StreamSlot s;
+            s.workloadId = id;
+            s.workload = workloadName(id);
+            s.technique = "Conduit";
+            cell.streams.push_back(std::move(s));
+        }
+    }
+
+    std::vector<sched::MultiRunResult> results;
+    for (int rep = 0; rep < repeat; ++rep) {
+        results = runner.runMultiAll({cell});
+        fold(r, runner.lastPerf(), rep);
+    }
+    r.wallMean /= repeat;
+    const sched::MultiRunResult &mr = results.front();
+    r.digest.push_back(digestLine("makespan", mr.makespan));
+    for (std::size_t i = 0; i < mr.streams.size(); ++i)
+        r.digest.push_back(digestLine(
+            "stream" + std::to_string(i) + "/" +
+                mr.streams[i].workload,
+            mr.streams[i].execTime));
+    return r;
+}
+
+ScenarioResult
+scenarioOpenLoopSaturation(SweepRunner &runner, const SweepCli &cli,
+                           int repeat)
+{
+    ScenarioResult r;
+    r.name = "open-loop-saturation";
+
+    // Calibrate like bench_saturation: one isolated job's makespan
+    // anchors the offered rate; 2x that sits past the knee. The
+    // anchor is simulated time, so the cell is deterministic.
+    LoadRunSpec calib;
+    calib.workloadId = WorkloadId::Aes;
+    calib.technique = "Conduit";
+    calib.params.scale = cli.scale;
+    calib.jobs = 1;
+    const DeviceSnapshot one = runner.runLoad(calib);
+    const double base_rate =
+        1.0 / std::max(1e-9, ticksToSeconds(one.makespan));
+
+    LoadRunSpec cell = calib;
+    cell.jobs = 6;
+    cell.jobsPerSec = 2.0 * base_rate;
+    cell.arrivals = ArrivalKind::Poisson;
+    cell.arrivalSeed = 1;
+
+    std::vector<DeviceSnapshot> snaps;
+    for (int rep = 0; rep < repeat; ++rep) {
+        snaps = runner.runLoadAll({cell});
+        fold(r, runner.lastPerf(), rep);
+    }
+    r.wallMean /= repeat;
+    const DeviceSnapshot &snap = snaps.front();
+    r.digest.push_back(digestLine("makespan", snap.makespan));
+    for (const auto &job : snap.jobs)
+        r.digest.push_back(digestLine(
+            "job" + std::to_string(job.id) + "/sojourn",
+            job.sojourn()));
+    return r;
+}
+
+bool
+writeJson(const std::string &path, const SweepCli &cli, int repeat,
+          unsigned threads, const std::vector<MicroResult> &micro,
+          const std::vector<ScenarioResult> &scenarios)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    static const char *kMicroNames[] = {"chain", "fan",
+                                        "cancel_window"};
+    std::fprintf(f, "{\n  \"bench\": \"selfperf\",\n");
+    std::fprintf(f, "  \"scale\": %g,\n", cli.scale);
+    std::fprintf(f, "  \"repeat\": %d,\n", repeat);
+    std::fprintf(f, "  \"threads\": %u,\n", threads);
+    std::fprintf(f, "  \"microbench\": {\n");
+    std::uint64_t ops = 0;
+    double wall = 0.0;
+    for (std::size_t i = 0; i < micro.size(); ++i) {
+        ops += micro[i].ops;
+        wall += micro[i].wallSeconds;
+        std::fprintf(f,
+                     "    \"%s_events_per_sec\": %.0f,\n",
+                     kMicroNames[i], micro[i].opsPerSec());
+    }
+    std::fprintf(f, "    \"events_per_sec\": %.0f\n  },\n",
+                 wall > 0.0 ? static_cast<double>(ops) / wall : 0.0);
+    std::fprintf(f, "  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const ScenarioResult &s = scenarios[i];
+        std::fprintf(f, "    {\n      \"name\": \"%s\",\n",
+                     s.name.c_str());
+        std::fprintf(f, "      \"cells\": %zu,\n", s.cells);
+        std::fprintf(f, "      \"events_fired\": %llu,\n",
+                     static_cast<unsigned long long>(s.eventsFired));
+        std::fprintf(f, "      \"wall_seconds_min\": %.6f,\n",
+                     s.wallMin);
+        std::fprintf(f, "      \"wall_seconds_mean\": %.6f,\n",
+                     s.wallMean);
+        std::fprintf(f, "      \"events_per_sec\": %.0f\n    }%s\n",
+                     s.eventsPerSec(),
+                     i + 1 < scenarios.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    return std::fclose(f) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace conduit;
+    using namespace conduit::bench;
+
+    int repeat = 3;
+    const auto extra = [&](const std::string &flag,
+                           const std::function<std::string()> &value) {
+        if (flag != "--repeat")
+            return false;
+        const std::string v = value();
+        char *end = nullptr;
+        errno = 0;
+        const long n = std::strtol(v.c_str(), &end, 10);
+        if (errno != 0 || end == v.c_str() || *end != '\0' || n <= 0) {
+            std::fprintf(stderr, "invalid value for --repeat: '%s'\n",
+                         v.c_str());
+            std::exit(2);
+        }
+        repeat = static_cast<int>(n);
+        return true;
+    };
+    const SweepCli cli = SweepCli::parse(
+        argc, argv, extra,
+        "  --repeat N         timing repetitions per scenario "
+        "(default 3);\n"
+        "                     --json names the perf record "
+        "(default BENCH_selfperf.json)\n");
+
+    static const std::vector<std::string> kScenarios = {
+        "fig07a-reduced", "multi-tenant-8", "open-loop-saturation"};
+    if (cli.listWorkloads)
+        runner::listAndExit(kScenarios);
+    if (cli.listTechniques)
+        runner::listAndExit(policyNames());
+    const auto keep = runner::splitCsv(cli.workloadFilter);
+    if (!runner::reportUnknown(keep, kScenarios, "scenario"))
+        return 2;
+    const auto want = [&](const std::string &name) {
+        return keep.empty() ||
+            std::find(keep.begin(), keep.end(), name) != keep.end();
+    };
+
+    // stdout carries only simulated digests, so it stays
+    // byte-identical across repeats, thread counts, and output
+    // paths; wall-clock numbers go to stderr and the JSON record.
+    std::printf("Simulator self-performance (simulated digests)\n\n");
+
+    // Event-kernel microbench (single-threaded by construction).
+    const std::vector<MicroResult> micro = {
+        microChain(2'000'000),
+        microFan(1'000'000),
+        microCancel(2'000'000),
+    };
+    static const char *kMicroLabels[] = {
+        "chain (self-scheduling)", "fan (pre-populated)",
+        "cancel window (open-loop)"};
+    std::fprintf(stderr, "event-kernel microbench:\n");
+    for (std::size_t i = 0; i < micro.size(); ++i)
+        std::fprintf(stderr, "  %-28s %12.0f events/s\n",
+                     kMicroLabels[i], micro[i].opsPerSec());
+
+    SweepRunner runner(cli.runnerOptions());
+    const unsigned threads = runner.workerCount(8);
+
+    std::vector<ScenarioResult> scenarios;
+    if (want("fig07a-reduced"))
+        scenarios.push_back(
+            scenarioFig07aReduced(runner, cli, repeat));
+    if (want("multi-tenant-8"))
+        scenarios.push_back(scenarioMultiTenant8(runner, cli, repeat));
+    if (want("open-loop-saturation"))
+        scenarios.push_back(
+            scenarioOpenLoopSaturation(runner, cli, repeat));
+
+    for (const ScenarioResult &s : scenarios) {
+        std::printf("%s (%zu cells, %llu simulated events)\n",
+                    s.name.c_str(), s.cells,
+                    static_cast<unsigned long long>(s.eventsFired));
+        for (const std::string &line : s.digest)
+            std::printf("  %s\n", line.c_str());
+        std::printf("\n");
+        std::fprintf(stderr,
+                     "%-22s wall min %8.3f s  mean %8.3f s  "
+                     "%12.0f events/s\n",
+                     s.name.c_str(), s.wallMin, s.wallMean,
+                     s.eventsPerSec());
+    }
+
+    const std::string out =
+        cli.jsonPath.empty() ? "BENCH_selfperf.json" : cli.jsonPath;
+    if (!writeJson(out, cli, repeat, threads, micro, scenarios))
+        return 1;
+    if (!cli.csvPath.empty())
+        std::fprintf(stderr,
+                     "note: --csv is ignored; the self-perf record "
+                     "is JSON only\n");
+    return 0;
+}

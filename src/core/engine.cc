@@ -38,36 +38,29 @@ Engine::prepare(std::uint64_t total_pages, const EngineOptions &opts)
         64, static_cast<std::uint64_t>(
                 static_cast<double>(total_pages) *
                 opts.dramStagingFraction));
-    dramLru_.clear();
-    dramPos_.clear();
+    dramLru_.reset(total_pages);
 }
 
 void
 Engine::dramTouch(Lpn page, Tick now)
 {
-    auto it = dramPos_.find(page);
-    if (it != dramPos_.end()) {
-        dramLru_.splice(dramLru_.begin(), dramLru_, it->second);
+    if (dramLru_.touch(page))
         return;
-    }
-    dramLru_.push_front(page);
-    dramPos_[page] = dramLru_.begin();
-    while (dramPos_.size() > dramCapacityPages_) {
+    while (dramLru_.size() > dramCapacityPages_) {
         // Random-ish victim selection (CLOCK approximation): pure
         // LRU degenerates on the cyclic sweeps of stencil kernels,
         // evicting every page just before its reuse.
-        auto vit = std::prev(dramLru_.end());
+        FlatLru::Node vit = dramLru_.tail();
         const std::uint64_t skip =
             rng_.below(std::max<std::uint64_t>(1, dramLru_.size() / 2));
-        for (std::uint64_t i = 0; i < skip && vit != dramLru_.begin();
-             ++i) {
-            --vit;
+        for (std::uint64_t i = 0;
+             i < skip && vit != dramLru_.head(); ++i) {
+            vit = dramLru_.prev(vit);
         }
-        const Lpn victim = *vit;
+        const Lpn victim = dramLru_.keyOf(vit);
         if (victim == page)
             break;
         dramLru_.erase(vit);
-        dramPos_.erase(victim);
         if (victim >= pageMeta_.size())
             continue;
         PageMeta &vm = pageMeta_[victim];
@@ -802,6 +795,7 @@ Engine::run(const Program &prog, OffloadPolicy &policy,
     streams[0].policy = std::shared_ptr<OffloadPolicy>(
         std::shared_ptr<void>(), &policy);
     sched::MultiRunResult mr = run(std::move(streams), opts);
+    mr.streams.front().eventsFired = mr.eventsFired;
     return std::move(mr.streams.front());
 }
 
@@ -877,11 +871,7 @@ Engine::sessionReclaim(std::uint64_t base_page, std::uint64_t pages)
     const Lpn limit = std::min<std::uint64_t>(base_page + pages,
                                               pageMeta_.size());
     for (Lpn p = base_page; p < limit; ++p) {
-        auto it = dramPos_.find(p);
-        if (it != dramPos_.end()) {
-            dramLru_.erase(it->second);
-            dramPos_.erase(it);
-        }
+        dramLru_.eraseKey(p);
         pageMeta_[p] = PageMeta{};
     }
     for (auto &fifo : latchFifo_) {

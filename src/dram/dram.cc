@@ -7,6 +7,10 @@ DramModel::DramModel(const DramConfig &cfg, StatSet *stats)
     : cfg_(cfg), banks_("dram.bank", cfg.banks), bus_("dram.bus"),
       stats_(stats)
 {
+    if (stats_) {
+        statAccesses_ = &stats_->counter("dram.accesses");
+        statBytes_ = &stats_->counter("dram.bytes");
+    }
 }
 
 ServiceInterval
@@ -18,9 +22,9 @@ DramModel::access(std::uint32_t bank, std::uint64_t bytes, Tick earliest)
         banks_.acquireOn(bank % banks_.size(), earliest, act + cfg_.tRp);
     const Tick burst = transferTicks(bytes, cfg_.busBytesPerSec);
     auto bus_iv = bus_.acquire(bank_iv.start + act, burst);
-    if (stats_) {
-        stats_->counter("dram.accesses").inc();
-        stats_->counter("dram.bytes").inc(bytes);
+    if (statAccesses_) {
+        statAccesses_->inc();
+        statBytes_->inc(bytes);
     }
     return {bank_iv.start, bus_iv.end};
 }

@@ -95,6 +95,11 @@ class DramModel
     ServerGroup banks_;
     Server bus_;
     StatSet *stats_;
+
+    // Hot-path counters resolved once: a StatSet lookup per access
+    // costs a string construction plus a map walk.
+    Counter *statAccesses_ = nullptr;
+    Counter *statBytes_ = nullptr;
 };
 
 } // namespace conduit

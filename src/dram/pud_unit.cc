@@ -10,6 +10,10 @@ PudUnit::PudUnit(DramModel &dram, const ComputeModelConfig &model,
                  StatSet *stats)
     : dram_(dram), model_(model), stats_(stats)
 {
+    if (stats_) {
+        statOps_ = &stats_->counter("pud.ops");
+        statBbops_ = &stats_->counter("pud.bbops");
+    }
 }
 
 std::uint32_t
@@ -80,11 +84,10 @@ PudUnit::execute(OpCode op, std::uint16_t elem_bits, std::uint32_t lanes,
         start = std::min(start, iv.start);
         end = std::max(end, iv.end);
     }
-    if (stats_) {
-        stats_->counter("pud.ops").inc();
-        stats_->counter("pud.bbops").inc(
-            static_cast<std::uint64_t>(rows) *
-            bbopCount(op, elem_bits));
+    if (statOps_) {
+        statOps_->inc();
+        statBbops_->inc(static_cast<std::uint64_t>(rows) *
+                        bbopCount(op, elem_bits));
     }
     return {start == kMaxTick ? earliest : start, end};
 }

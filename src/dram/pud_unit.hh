@@ -73,6 +73,11 @@ class PudUnit
     DramModel &dram_;
     ComputeModelConfig model_;
     StatSet *stats_;
+
+    // Hot-path counters resolved once: a StatSet lookup per op costs
+    // a string construction plus a map walk.
+    Counter *statOps_ = nullptr;
+    Counter *statBbops_ = nullptr;
 };
 
 } // namespace conduit

@@ -38,6 +38,14 @@ Ftl::Ftl(NandArray &nand, const SsdConfig &cfg, StatSet *stats)
         64, static_cast<std::uint64_t>(
                 static_cast<double>(logicalPages_) *
                 cfg_.mappingCacheCoverage));
+    mapLru_.reset(logicalPages_);
+
+    if (stats_) {
+        statMapHits_ = &stats_->counter("ftl.map_hits");
+        statMapMisses_ = &stats_->counter("ftl.map_misses");
+        statGcRuns_ = &stats_->counter("ftl.gc_runs");
+        statGcMigrations_ = &stats_->counter("ftl.gc_migrations");
+    }
 }
 
 std::uint64_t
@@ -121,21 +129,23 @@ Ftl::allocatePage(Tick now)
 void
 Ftl::touchMapCache(Lpn lpn, bool &hit)
 {
-    auto it = mapCache_.find(lpn);
-    if (it != mapCache_.end()) {
-        mapLru_.splice(mapLru_.begin(), mapLru_, it->second);
+    // Both the member tallies and the StatSet counters are bumped
+    // here, so the read path (translate) and the write path
+    // (writePage) report mapping-cache traffic identically — the
+    // StatSet used to miss every write-path touch.
+    if (mapLru_.touch(lpn)) {
         hit = true;
         ++mapHits_;
+        if (statMapHits_)
+            statMapHits_->inc();
         return;
     }
     hit = false;
     ++mapMisses_;
-    mapLru_.push_front(lpn);
-    mapCache_[lpn] = mapLru_.begin();
-    if (mapCache_.size() > mapCacheCapacity_) {
-        mapCache_.erase(mapLru_.back());
-        mapLru_.pop_back();
-    }
+    if (statMapMisses_)
+        statMapMisses_->inc();
+    if (mapLru_.size() > mapCacheCapacity_)
+        mapLru_.popTail();
 }
 
 Ftl::Lookup
@@ -151,8 +161,6 @@ Ftl::translate(Lpn lpn, Tick now)
     r.latency = hit ? cfg_.overhead.l2pLookupDram
                     : cfg_.overhead.l2pLookupFlash;
     r.ppn = l2p_[lpn];
-    if (stats_)
-        stats_->counter(hit ? "ftl.map_hits" : "ftl.map_misses").inc();
     return r;
 }
 
@@ -233,8 +241,8 @@ Ftl::collectBlock(std::uint64_t victim, Tick now)
 {
     const NandConfig &n = cfg_.nand;
     ++gcRuns_;
-    if (stats_)
-        stats_->counter("ftl.gc_runs").inc();
+    if (statGcRuns_)
+        statGcRuns_->inc();
 
     BlockState &vb = blocks_[victim];
     FlashAddress va = blockAddress(victim);
@@ -258,8 +266,8 @@ Ftl::collectBlock(std::uint64_t victim, Tick now)
         vb.owner[p] = kNoLpn;
         --vb.validCount;
         t = wr.end;
-        if (stats_)
-            stats_->counter("ftl.gc_migrations").inc();
+        if (statGcMigrations_)
+            statGcMigrations_->inc();
     }
     va.page = 0;
     nand_.eraseBlock(va, t);

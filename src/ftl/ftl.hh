@@ -19,12 +19,11 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "src/nand/nand.hh"
 #include "src/sim/config.hh"
+#include "src/sim/flat_lru.hh"
 #include "src/sim/stats.hh"
 
 namespace conduit
@@ -98,16 +97,19 @@ class Ftl
     /**
      * Resize the demand mapping cache (entries). The engine sizes it
      * relative to the workload footprint so that, as in §5.4, the
-     * working set pressures the SSD DRAM.
+     * working set pressures the SSD DRAM. Capacities down to a
+     * single entry are honored — a DRAM-pressure experiment sizing
+     * the cache below 16 entries gets exactly the hit rate that
+     * capacity implies (the old 16-entry floor silently inflated
+     * it). Zero is clamped to 1: the DFTL model always keeps the
+     * entry it is translating resident.
      */
     void
     setMappingCacheCapacity(std::uint64_t entries)
     {
-        mapCacheCapacity_ = std::max<std::uint64_t>(16, entries);
-        while (mapCache_.size() > mapCacheCapacity_) {
-            mapCache_.erase(mapLru_.back());
-            mapLru_.pop_back();
-        }
+        mapCacheCapacity_ = std::max<std::uint64_t>(1, entries);
+        while (mapLru_.size() > mapCacheCapacity_)
+            mapLru_.popTail();
     }
 
     std::uint64_t
@@ -170,12 +172,19 @@ class Ftl
     std::uint64_t gcRuns_ = 0;
     Tick lastGcTick_ = 0;
 
-    // Demand mapping cache (DFTL): LRU over cached L2P entries.
+    // Demand mapping cache (DFTL): flat intrusive LRU over cached
+    // L2P entries (preallocated nodes, direct-mapped lookup).
     std::uint64_t mapCacheCapacity_ = 0;
-    std::list<Lpn> mapLru_;
-    std::unordered_map<Lpn, std::list<Lpn>::iterator> mapCache_;
+    FlatLru mapLru_;
     std::uint64_t mapHits_ = 0;
     std::uint64_t mapMisses_ = 0;
+
+    // Hot-path counters resolved once: StatSet lookup costs a string
+    // construction plus a map walk, far too much per translate.
+    Counter *statMapHits_ = nullptr;
+    Counter *statMapMisses_ = nullptr;
+    Counter *statGcRuns_ = nullptr;
+    Counter *statGcMigrations_ = nullptr;
 };
 
 } // namespace conduit

@@ -1,9 +1,8 @@
 #include "src/host/host_model.hh"
 
 #include <algorithm>
-#include <list>
-#include <unordered_map>
 
+#include "src/sim/rank_lru.hh"
 #include "src/sim/rng.hh"
 
 namespace conduit
@@ -46,31 +45,25 @@ HostModel::run(const Program &prog) const
     const std::uint64_t capacity = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(
                static_cast<double>(prog.footprintPages) * frac));
-    std::list<std::uint64_t> lru;
-    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
-        cache;
+    RankLru lru;
+    lru.reset(prog.footprintPages, capacity);
     Rng rng(0xC0FFEE);
 
     auto touch = [&](std::uint64_t page) -> bool {
-        auto it = cache.find(page);
-        if (it != cache.end()) {
-            lru.splice(lru.begin(), lru, it->second);
+        if (lru.touch(page))
             return true;
-        }
-        lru.push_front(page);
-        cache[page] = lru.begin();
-        if (cache.size() > capacity) {
+        if (lru.size() > capacity) {
             // CLOCK-like randomized victim selection: pure LRU
             // degenerates on the cyclic sweeps of these kernels.
-            auto vit = std::prev(lru.end());
+            // The victim sits `skip` recency steps from the LRU
+            // end (a tail walk stops at the head, hence the rank
+            // clamp); RankLru finds it in O(log n) instead of a
+            // skip-step list walk.
             const std::uint64_t skip =
                 rng.below(std::max<std::uint64_t>(1, lru.size() / 2));
-            for (std::uint64_t i = 0;
-                 i < skip && vit != lru.begin(); ++i) {
-                --vit;
-            }
-            cache.erase(*vit);
-            lru.erase(vit);
+            const std::uint64_t rank = std::min<std::uint64_t>(
+                skip, lru.size() - 1);
+            lru.eraseKey(lru.keyAtRankFromTail(rank));
         }
         return false;
     };

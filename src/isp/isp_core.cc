@@ -10,6 +10,10 @@ IspCore::IspCore(const IspConfig &cfg, const ComputeModelConfig &model,
                  StatSet *stats)
     : cfg_(cfg), model_(model), core_("isp.core"), stats_(stats)
 {
+    if (stats_) {
+        statOps_ = &stats_->counter("isp.ops");
+        statBusyPs_ = &stats_->counter("isp.busy_ps");
+    }
 }
 
 double
@@ -63,9 +67,9 @@ IspCore::execute(OpCode op, std::uint16_t elem_bits, std::uint32_t lanes,
 {
     const Tick dur = estimate(op, elem_bits, lanes, num_srcs, vectorized);
     auto iv = core_.acquire(earliest, dur);
-    if (stats_) {
-        stats_->counter("isp.ops").inc();
-        stats_->counter("isp.busy_ps").inc(dur);
+    if (statOps_) {
+        statOps_->inc();
+        statBusyPs_->inc(dur);
     }
     return iv;
 }

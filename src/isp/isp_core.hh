@@ -70,6 +70,11 @@ class IspCore
     ComputeModelConfig model_;
     Server core_;
     StatSet *stats_;
+
+    // Hot-path counters resolved once: a StatSet lookup per op costs
+    // a string construction plus a map walk.
+    Counter *statOps_ = nullptr;
+    Counter *statBusyPs_ = nullptr;
 };
 
 } // namespace conduit

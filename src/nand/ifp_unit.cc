@@ -11,6 +11,10 @@ IfpUnit::IfpUnit(NandArray &nand, const ComputeModelConfig &model,
                  StatSet *stats)
     : nand_(nand), model_(model), stats_(stats)
 {
+    if (stats_) {
+        statOps_ = &stats_->counter("ifp.ops");
+        statBytes_ = &stats_->counter("ifp.bytes");
+    }
 }
 
 Tick
@@ -123,12 +127,12 @@ IfpUnit::execute(OpCode op, std::uint16_t elem_bits,
         start = std::min(start, iv.start);
         end = std::max(end, frag_end);
     }
-    if (stats_) {
-        stats_->counter("ifp.ops").inc();
+    if (statOps_) {
+        statOps_->inc();
         std::uint64_t bytes = 0;
         for (const auto &f : frags)
             bytes += f.bytes;
-        stats_->counter("ifp.bytes").inc(bytes);
+        statBytes_->inc(bytes);
     }
     return {start == kMaxTick ? earliest : start, end};
 }

@@ -15,6 +15,14 @@ NandArray::NandArray(const NandConfig &cfg, StatSet *stats)
     channels_.reserve(cfg_.channels);
     for (std::uint32_t c = 0; c < cfg_.channels; ++c)
         channels_.emplace_back("nand.ch" + std::to_string(c));
+    if (stats_) {
+        statReads_ = &stats_->counter("nand.reads");
+        statPrograms_ = &stats_->counter("nand.programs");
+        statErases_ = &stats_->counter("nand.erases");
+        statXferOutBytes_ = &stats_->counter("nand.xfer_out_bytes");
+        statXferInBytes_ = &stats_->counter("nand.xfer_in_bytes");
+        statDmaOps_ = &stats_->counter("nand.dma_ops");
+    }
 }
 
 FlashAddress
@@ -51,8 +59,8 @@ NandArray::readPage(const FlashAddress &a, Tick earliest)
 {
     auto iv = dies_[dieIndex(a)].acquire(earliest,
                                          cfg_.cmdTicks + cfg_.readTicks);
-    if (stats_)
-        stats_->counter("nand.reads").inc();
+    if (statReads_)
+        statReads_->inc();
     return iv;
 }
 
@@ -61,8 +69,8 @@ NandArray::programPage(const FlashAddress &a, Tick earliest)
 {
     auto iv = dies_[dieIndex(a)].acquire(
         earliest, cfg_.cmdTicks + cfg_.programTicks);
-    if (stats_)
-        stats_->counter("nand.programs").inc();
+    if (statPrograms_)
+        statPrograms_->inc();
     return iv;
 }
 
@@ -71,8 +79,8 @@ NandArray::eraseBlock(const FlashAddress &a, Tick earliest)
 {
     auto iv = dies_[dieIndex(a)].acquire(
         earliest, cfg_.cmdTicks + cfg_.eraseTicks);
-    if (stats_)
-        stats_->counter("nand.erases").inc();
+    if (statErases_)
+        statErases_->inc();
     return iv;
 }
 
@@ -83,9 +91,9 @@ NandArray::transferOut(std::uint32_t channel, std::uint64_t bytes,
     const Tick dur = cfg_.dmaTicks +
         transferTicks(bytes, cfg_.channelBytesPerSec);
     auto iv = channels_.at(channel).acquire(earliest, dur);
-    if (stats_) {
-        stats_->counter("nand.xfer_out_bytes").inc(bytes);
-        stats_->counter("nand.dma_ops").inc();
+    if (statXferOutBytes_) {
+        statXferOutBytes_->inc(bytes);
+        statDmaOps_->inc();
     }
     return iv;
 }
@@ -97,9 +105,9 @@ NandArray::transferIn(std::uint32_t channel, std::uint64_t bytes,
     const Tick dur = cfg_.dmaTicks +
         transferTicks(bytes, cfg_.channelBytesPerSec);
     auto iv = channels_.at(channel).acquire(earliest, dur);
-    if (stats_) {
-        stats_->counter("nand.xfer_in_bytes").inc(bytes);
-        stats_->counter("nand.dma_ops").inc();
+    if (statXferInBytes_) {
+        statXferInBytes_->inc(bytes);
+        statDmaOps_->inc();
     }
     return iv;
 }

@@ -122,6 +122,15 @@ class NandArray
     std::vector<Server> dies_;
     std::vector<Server> channels_;
     StatSet *stats_;
+
+    // Hot-path counters resolved once: a StatSet lookup per media op
+    // costs a string construction plus a map walk.
+    Counter *statReads_ = nullptr;
+    Counter *statPrograms_ = nullptr;
+    Counter *statErases_ = nullptr;
+    Counter *statXferOutBytes_ = nullptr;
+    Counter *statXferInBytes_ = nullptr;
+    Counter *statDmaOps_ = nullptr;
 };
 
 } // namespace conduit

@@ -62,6 +62,30 @@ parallelFor(unsigned threads, std::size_t n, const Body &body)
 
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}
 
+SweepPerf
+SweepRunner::lastPerf() const
+{
+    SweepPerf p;
+    p.wallSeconds = perfWall_;
+    p.cells = perfCells_;
+    p.eventsFired = perfEvents_.load(std::memory_order_relaxed);
+    return p;
+}
+
+template <typename Body>
+void
+SweepRunner::timedSweep(std::size_t cells, const Body &body)
+{
+    perfCells_ = cells;
+    perfEvents_.store(0, std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    perfWall_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+}
+
 unsigned
 SweepRunner::workerCount(std::size_t jobs) const
 {
@@ -192,8 +216,15 @@ std::vector<sched::MultiRunResult>
 SweepRunner::runMultiAll(const std::vector<MultiRunSpec> &specs)
 {
     std::vector<sched::MultiRunResult> results(specs.size());
-    parallelFor(workerCount(specs.size()), specs.size(),
-                [&](std::size_t i) { results[i] = runMulti(specs[i]); });
+    timedSweep(specs.size(), [&] {
+        parallelFor(workerCount(specs.size()), specs.size(),
+                    [&](std::size_t i) {
+                        results[i] = runMulti(specs[i]);
+                        perfEvents_.fetch_add(
+                            results[i].eventsFired,
+                            std::memory_order_relaxed);
+                    });
+    });
     return results;
 }
 
@@ -257,26 +288,32 @@ std::vector<DeviceSnapshot>
 SweepRunner::runLoadAll(const std::vector<LoadRunSpec> &specs)
 {
     std::vector<DeviceSnapshot> results(specs.size());
-    parallelFor(workerCount(specs.size()), specs.size(),
-                [&](std::size_t i) { results[i] = runLoad(specs[i]); });
+    timedSweep(specs.size(), [&] {
+        parallelFor(workerCount(specs.size()), specs.size(),
+                    [&](std::size_t i) {
+                        results[i] = runLoad(specs[i]);
+                        perfEvents_.fetch_add(
+                            results[i].eventsFired,
+                            std::memory_order_relaxed);
+                    });
+    });
     return results;
 }
 
 SweepResult
 SweepRunner::run(std::vector<RunSpec> specs)
 {
-    const auto t0 = std::chrono::steady_clock::now();
     const std::size_t n = specs.size();
     std::vector<RunResult> results(n);
     const unsigned threads = workerCount(n);
-    parallelFor(threads, n,
-                [&](std::size_t i) { results[i] = runOne(specs[i]); });
-
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t0)
-            .count();
-    return SweepResult(std::move(specs), std::move(results), wall,
+    timedSweep(n, [&] {
+        parallelFor(threads, n, [&](std::size_t i) {
+            results[i] = runOne(specs[i]);
+            perfEvents_.fetch_add(results[i].eventsFired,
+                                  std::memory_order_relaxed);
+        });
+    });
+    return SweepResult(std::move(specs), std::move(results), perfWall_,
                        threads);
 }
 

@@ -14,6 +14,8 @@
 #ifndef CONDUIT_RUNNER_SWEEP_RUNNER_HH
 #define CONDUIT_RUNNER_SWEEP_RUNNER_HH
 
+#include <atomic>
+
 #include "src/core/device.hh"
 #include "src/runner/program_cache.hh"
 #include "src/runner/run_spec.hh"
@@ -27,6 +29,28 @@ struct SweepOptions
 {
     /** Worker threads; 0 = std::thread::hardware_concurrency(). */
     unsigned threads = 0;
+};
+
+/**
+ * Wall-clock self-performance of one sweep call (bench_selfperf's
+ * raw material): how long the sweep took, how many cells it ran, and
+ * how many simulated events the engine cells fired. Events come from
+ * the event kernel only — host-baseline cells contribute cells but
+ * no events.
+ */
+struct SweepPerf
+{
+    double wallSeconds = 0.0;
+    std::size_t cells = 0;
+    std::uint64_t eventsFired = 0;
+
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0.0
+            ? static_cast<double>(eventsFired) / wallSeconds
+            : 0.0;
+    }
 };
 
 /** Executes sweep matrices in parallel. */
@@ -88,9 +112,24 @@ class SweepRunner
     /** The shared compile cache (shared across run() calls too). */
     ProgramCache &cache() { return cache_; }
 
+    /**
+     * Self-performance of the most recent run()/runMultiAll()/
+     * runLoadAll() call (not updated by the single-cell entry
+     * points). Read it after the sweep returns — not concurrently.
+     */
+    SweepPerf lastPerf() const;
+
   private:
+    /** Time @p body, tallying cells/events into lastPerf(). */
+    template <typename Body>
+    void timedSweep(std::size_t cells, const Body &body);
+
     SweepOptions opts_;
     ProgramCache cache_;
+
+    double perfWall_ = 0.0;
+    std::size_t perfCells_ = 0;
+    std::atomic<std::uint64_t> perfEvents_{0};
 };
 
 } // namespace conduit::runner

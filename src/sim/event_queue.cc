@@ -1,56 +1,144 @@
 #include "src/sim/event_queue.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace conduit
 {
+
+namespace
+{
+
+/** An EventId packs (generation << 32) | slot. */
+constexpr EventId
+packId(std::uint32_t slot, std::uint32_t gen)
+{
+    return (static_cast<EventId>(gen) << 32) | slot;
+}
+
+constexpr std::uint32_t
+idSlot(EventId id)
+{
+    return static_cast<std::uint32_t>(id);
+}
+
+constexpr std::uint32_t
+idGen(EventId id)
+{
+    return static_cast<std::uint32_t>(id >> 32);
+}
+
+} // namespace
+
+std::uint32_t
+EventQueue::acquireSlot(Callback cb)
+{
+    if (freeHead_ != kNoSlot) {
+        const std::uint32_t slot = freeHead_;
+        freeHead_ = slots_[slot].nextFree;
+        slots_[slot].cb = std::move(cb);
+        return slot;
+    }
+    slots_.emplace_back();
+    slots_.back().cb = std::move(cb);
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    Slot &s = slots_[slot];
+    s.cb.reset();
+    ++s.gen; // stale EventIds and heap entries stop matching
+    s.nextFree = freeHead_;
+    freeHead_ = slot;
+}
 
 EventId
 EventQueue::schedule(Tick when, Callback cb, int priority)
 {
     if (when < now_)
         throw std::logic_error("EventQueue: scheduling event in the past");
-    const EventId id = nextId_++;
-    heap_.push(Entry{when, priority, id, std::move(cb)});
-    live_.insert(id);
-    return id;
+    const std::uint32_t slot = acquireSlot(std::move(cb));
+    const std::uint32_t gen = slots_[slot].gen;
+    heap_.push_back(Entry{when, nextSeq_++, slot, gen, priority});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++live_;
+    return packId(slot, gen);
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    // Lazy cancellation: we cannot remove from the middle of the
-    // heap, so drop the id from the live set and discard the entry
-    // when it surfaces. Only still-pending ids are cancellable —
-    // fired, already-cancelled, and never-issued ids report false.
-    return live_.erase(id) != 0;
+    // Only still-pending ids are cancellable — fired, already-
+    // cancelled, and never-issued ids report false: releasing a slot
+    // bumps its generation, and a free slot's current generation is
+    // only ever issued to its next occupant, so a generation match
+    // proves the id is the slot's live occupant. The slot is
+    // released immediately; the heap entry goes stale and is
+    // discarded when it surfaces, or sooner by compact() once dead
+    // entries outnumber the live half.
+    const std::uint32_t slot = idSlot(id);
+    if (slot >= slots_.size() || slots_[slot].gen != idGen(id))
+        return false;
+    releaseSlot(slot);
+    --live_;
+    ++cancelled_;
+    if (cancelled_ * 2 > heap_.size() &&
+        heap_.size() >= kCompactMinEntries)
+        compact();
+    return true;
+}
+
+void
+EventQueue::compact()
+{
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const Entry &e) {
+                                   return !liveEntry(e);
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    cancelled_ = 0;
+}
+
+bool
+EventQueue::skimCancelled()
+{
+    while (!heap_.empty() && !liveEntry(heap_.front())) {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        heap_.pop_back();
+        --cancelled_;
+    }
+    return !heap_.empty();
 }
 
 bool
 EventQueue::runOne()
 {
-    while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        if (live_.erase(e.id) == 0)
-            continue; // cancelled
-        now_ = e.when;
-        ++fired_;
-        e.cb();
-        return true;
-    }
-    return false;
+    if (!skimCancelled())
+        return false;
+    const Entry e = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    // Release before invoking: the callback sees the event as fired
+    // (its id is no longer cancellable) and may reuse the slot.
+    Callback cb = std::move(slots_[e.slot].cb);
+    releaseSlot(e.slot);
+    --live_;
+    now_ = e.when;
+    ++fired_;
+    if (cb) // an empty callback fires as a no-op
+        cb();
+    return true;
 }
 
 std::uint64_t
 EventQueue::run(Tick until)
 {
     std::uint64_t n = 0;
-    while (!heap_.empty()) {
-        // Peek past cancelled entries to find the next live event time.
-        while (!heap_.empty() && !live_.count(heap_.top().id))
-            heap_.pop();
-        if (heap_.empty() || heap_.top().when > until)
+    while (skimCancelled()) {
+        if (heap_.front().when > until)
             break;
         if (runOne())
             ++n;

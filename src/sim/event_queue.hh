@@ -6,17 +6,30 @@
  * numbers make execution deterministic: two events scheduled for the
  * same tick and priority always fire in scheduling order, so repeated
  * runs of the same workload produce bit-identical results.
+ *
+ * Storage layout (the wall-clock hot path):
+ *
+ * - Callbacks live in a free-listed slab of generation-stamped
+ *   slots. Firing or cancelling releases the slot for immediate
+ *   reuse; an EventId encodes (slot, generation), so a stale handle
+ *   can never cancel the slot's next occupant.
+ * - The binary heap holds small POD entries (no callback), so sift
+ *   operations move 32-byte records instead of std::function objects
+ *   and schedule/fire perform no heap allocation (callbacks up to
+ *   SmallFn::kInlineBytes, which covers every caller in-tree).
+ * - cancel() is lazy: the heap entry stays behind and is discarded
+ *   when it surfaces — but when cancelled entries outnumber half the
+ *   heap, the heap is compacted in place, bounding memory growth
+ *   under cancel-heavy open-loop workloads.
  */
 
 #ifndef CONDUIT_SIM_EVENT_QUEUE_HH
 #define CONDUIT_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "src/sim/small_fn.hh"
 #include "src/sim/types.hh"
 
 namespace conduit
@@ -34,7 +47,7 @@ using EventId = std::uint64_t;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallFn;
 
     /**
      * Schedule @p cb to run at absolute time @p when.
@@ -77,21 +90,44 @@ class EventQueue
     Tick now() const { return now_; }
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t pending() const { return live_.size(); }
+    std::size_t pending() const { return live_; }
 
     /** True if no live events remain. */
-    bool empty() const { return live_.empty(); }
+    bool empty() const { return live_ == 0; }
 
     /** Total events fired since construction. */
     std::uint64_t eventsFired() const { return fired_; }
 
+    /** @name Slab/heap introspection (memory-bound regression tests) @{ */
+    /** Slots ever allocated (bounds callback storage). */
+    std::size_t slabSlots() const { return slots_.size(); }
+    /** Heap entries, cancelled leftovers included. */
+    std::size_t heapEntries() const { return heap_.size(); }
+    /** Cancelled entries still awaiting discard/compaction. */
+    std::size_t cancelledEntries() const { return cancelled_; }
+    /** @} */
+
   private:
+    static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+    /** Compaction only kicks in past this size (tiny heaps are cheap). */
+    static constexpr std::size_t kCompactMinEntries = 64;
+
+    /** Slab slot: callback storage + the liveness generation. */
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t gen = 1; // bumped on release; 0 never issued
+        std::uint32_t nextFree = kNoSlot;
+    };
+
+    /** Heap entry: POD ordering record referencing a slab slot. */
     struct Entry
     {
         Tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t gen;
         int priority;
-        EventId id;
-        Callback cb;
     };
 
     struct Later
@@ -103,18 +139,28 @@ class EventQueue
                 return a.when > b.when;
             if (a.priority != b.priority)
                 return a.priority > b.priority;
-            return a.id > b.id;
+            return a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<EventId> live_; // scheduled, not yet fired or
-                                       // cancelled; a heap entry
-                                       // whose id is absent was
-                                       // cancelled and is discarded
-                                       // when it surfaces
+    std::uint32_t acquireSlot(Callback cb);
+    void releaseSlot(std::uint32_t slot);
+    bool liveEntry(const Entry &e) const
+    {
+        return slots_[e.slot].gen == e.gen;
+    }
+    /** Drop cancelled entries in place and re-heapify. */
+    void compact();
+    /** Pop dead entries off the top; true if a live top remains. */
+    bool skimCancelled();
+
+    std::vector<Entry> heap_; // binary min-heap via Later
+    std::vector<Slot> slots_;
+    std::uint32_t freeHead_ = kNoSlot;
+    std::size_t live_ = 0;      // scheduled, not yet fired/cancelled
+    std::size_t cancelled_ = 0; // dead entries still in heap_
     Tick now_ = 0;
-    EventId nextId_ = 1;
+    std::uint64_t nextSeq_ = 1;
     std::uint64_t fired_ = 0;
 };
 

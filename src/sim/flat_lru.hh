@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Flat intrusive LRU list over preallocated nodes.
+ *
+ * Three hot paths in the simulator maintain recency lists keyed by
+ * dense page numbers: the FTL's demand mapping cache, the engine's
+ * DRAM staging buffer, and the host baseline's page cache. All three
+ * previously used std::list + unordered_map, paying a node
+ * allocation plus a hash per touch and chasing list pointers across
+ * the heap on every eviction walk. FlatLru replaces both structures:
+ * nodes live contiguously in a pooled vector linked by 32-bit
+ * indices, and lookup is a direct-mapped index array over the dense
+ * key space — no hashing, no per-touch allocation, and eviction
+ * walks stay inside one compact allocation.
+ *
+ * The recency semantics are exactly those of the code it replaces
+ * (move-to-front on hit, push-front on miss, walks from the tail),
+ * so converting a caller is wall-clock-only: hit/miss and victim
+ * sequences are bit-identical.
+ */
+
+#ifndef CONDUIT_SIM_FLAT_LRU_HH
+#define CONDUIT_SIM_FLAT_LRU_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace conduit
+{
+
+/**
+ * Intrusive most-recently-used list with direct-mapped lookup.
+ *
+ * Keys must be dense (bounded by the key-space size given to
+ * reset()); keys at or beyond the bound grow the index on first
+ * touch. Node handles are stable until the node is erased.
+ */
+class FlatLru
+{
+  public:
+    using Node = std::uint32_t;
+    static constexpr Node kNone = ~Node{0};
+
+    /** Drop all entries and size the direct-mapped index. */
+    void
+    reset(std::uint64_t key_space)
+    {
+        nodes_.clear();
+        index_.assign(key_space, kNone);
+        head_ = tail_ = freeHead_ = kNone;
+        size_ = 0;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Most recently used node (or kNone). */
+    Node head() const { return head_; }
+    /** Least recently used node (or kNone). */
+    Node tail() const { return tail_; }
+    /** Neighbour toward the head (more recent), or kNone. */
+    Node prev(Node n) const { return nodes_[n].prev; }
+    /** Neighbour toward the tail (less recent), or kNone. */
+    Node next(Node n) const { return nodes_[n].next; }
+    std::uint64_t keyOf(Node n) const { return nodes_[n].key; }
+
+    /** Node holding @p key, or kNone. */
+    Node
+    find(std::uint64_t key) const
+    {
+        return key < index_.size() ? index_[key] : kNone;
+    }
+
+    /**
+     * Touch @p key: on hit move its node to the front and return
+     * true; on miss insert a fresh front node and return false.
+     * Never evicts — capacity policy belongs to the caller.
+     */
+    bool
+    touch(std::uint64_t key)
+    {
+        const Node n = find(key);
+        if (n != kNone) {
+            moveToFront(n);
+            return true;
+        }
+        insertFront(key);
+        return false;
+    }
+
+    /** Unlink @p n and recycle it. */
+    void
+    erase(Node n)
+    {
+        unlink(n);
+        index_[nodes_[n].key] = kNone;
+        nodes_[n].next = freeHead_;
+        freeHead_ = n;
+        --size_;
+    }
+
+    /** Erase by key; no-op when absent. */
+    void
+    eraseKey(std::uint64_t key)
+    {
+        const Node n = find(key);
+        if (n != kNone)
+            erase(n);
+    }
+
+    /** Evict the least recently used entry and return its key. */
+    std::uint64_t
+    popTail()
+    {
+        const Node n = tail_;
+        const std::uint64_t key = nodes_[n].key;
+        erase(n);
+        return key;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key;
+        Node prev;
+        Node next;
+    };
+
+    void
+    insertFront(std::uint64_t key)
+    {
+        Node n;
+        if (freeHead_ != kNone) {
+            n = freeHead_;
+            freeHead_ = nodes_[n].next;
+        } else {
+            n = static_cast<Node>(nodes_.size());
+            nodes_.emplace_back();
+        }
+        nodes_[n].key = key;
+        nodes_[n].prev = kNone;
+        nodes_[n].next = head_;
+        if (head_ != kNone)
+            nodes_[head_].prev = n;
+        head_ = n;
+        if (tail_ == kNone)
+            tail_ = n;
+        if (key >= index_.size())
+            index_.resize(key + 1, kNone);
+        index_[key] = n;
+        ++size_;
+    }
+
+    void
+    moveToFront(Node n)
+    {
+        if (n == head_)
+            return;
+        unlink(n);
+        nodes_[n].prev = kNone;
+        nodes_[n].next = head_;
+        nodes_[head_].prev = n;
+        head_ = n;
+        if (tail_ == kNone)
+            tail_ = n;
+    }
+
+    void
+    unlink(Node n)
+    {
+        const Node p = nodes_[n].prev;
+        const Node x = nodes_[n].next;
+        if (p != kNone)
+            nodes_[p].next = x;
+        else
+            head_ = x;
+        if (x != kNone)
+            nodes_[x].prev = p;
+        else
+            tail_ = p;
+    }
+
+    std::vector<Entry> nodes_;
+    std::vector<Node> index_; // key -> node, direct-mapped
+    Node head_ = kNone;
+    Node tail_ = kNone;
+    Node freeHead_ = kNone;
+    std::size_t size_ = 0;
+};
+
+} // namespace conduit
+
+#endif // CONDUIT_SIM_FLAT_LRU_HH

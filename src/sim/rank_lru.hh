@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Order-statistics LRU: recency tracking with O(log n) rank selection.
+ *
+ * The host baseline's page cache evicts the entry `skip` steps from
+ * the LRU end (CLOCK-like randomized victim selection). A linked
+ * list answers that query by walking `skip` nodes — O(capacity) per
+ * eviction, and the dominant wall-clock cost of every CPU/GPU
+ * baseline cell. RankLru keeps the same recency order as monotone
+ * timestamps indexed by a Fenwick tree, so move-to-front is O(log n)
+ * and "the k-th entry from the tail" is a single O(log n) tree
+ * descent instead of a k-step walk.
+ *
+ * The structure is an exact drop-in for the list semantics: touches
+ * preserve identical recency order, and keyAtRankFromTail(r) returns
+ * precisely the node a r-step tail walk would reach — callers keep
+ * their RNG draws and get bit-identical victim sequences.
+ *
+ * Timestamp space is bounded: when the window fills, timestamps are
+ * compacted in recency order (O(window), amortized O(1) per touch).
+ */
+
+#ifndef CONDUIT_SIM_RANK_LRU_HH
+#define CONDUIT_SIM_RANK_LRU_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace conduit
+{
+
+/** LRU set over dense keys with logarithmic rank-from-tail queries. */
+class RankLru
+{
+  public:
+    static constexpr std::uint64_t kNone = ~std::uint64_t{0};
+
+    /**
+     * Drop all entries. @p key_space bounds the dense key range
+     * (grown on demand); @p expected_capacity sizes the timestamp
+     * window (4x capacity between compactions).
+     */
+    void
+    reset(std::uint64_t key_space, std::uint64_t expected_capacity)
+    {
+        ts_.assign(key_space, kNone);
+        window_ = std::max<std::uint64_t>(64, 4 * expected_capacity);
+        topBit_ = 1;
+        while (topBit_ * 2 <= window_)
+            topBit_ *= 2;
+        tsToKey_.assign(window_, kNone);
+        bit_.assign(window_ + 1, 0);
+        nextTs_ = 0;
+        size_ = 0;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /**
+     * Touch @p key: refresh its recency (hit, returns true) or
+     * insert it as most recent (miss, returns false). Never evicts —
+     * capacity policy belongs to the caller.
+     */
+    bool
+    touch(std::uint64_t key)
+    {
+        if (key >= ts_.size())
+            ts_.resize(key + 1, kNone);
+        const bool hit = ts_[key] != kNone;
+        if (hit)
+            release(ts_[key]);
+        else
+            ++size_;
+        place(key);
+        return hit;
+    }
+
+    /**
+     * Key @p rank steps from the least-recent end: rank 0 is the LRU
+     * entry, rank size()-1 the most recent. @p rank must be < size().
+     */
+    std::uint64_t
+    keyAtRankFromTail(std::uint64_t rank) const
+    {
+        // Find the (rank+1)-th smallest alive timestamp: a Fenwick
+        // prefix descent for the first index whose alive-count
+        // prefix reaches rank+1.
+        std::uint64_t remain = rank + 1;
+        std::uint64_t pos = 0; // 1-based running BIT index
+        for (std::uint64_t mask = topBit_; mask != 0; mask >>= 1) {
+            const std::uint64_t next = pos + mask;
+            if (next <= window_ && bit_[next] < remain) {
+                pos = next;
+                remain -= bit_[next];
+            }
+        }
+        return tsToKey_[pos]; // 1-based answer pos+1 -> timestamp pos
+    }
+
+    /** Remove @p key; no-op when absent (like FlatLru::eraseKey). */
+    void
+    eraseKey(std::uint64_t key)
+    {
+        if (!contains(key))
+            return;
+        release(ts_[key]);
+        ts_[key] = kNone;
+        --size_;
+    }
+
+    bool
+    contains(std::uint64_t key) const
+    {
+        return key < ts_.size() && ts_[key] != kNone;
+    }
+
+  private:
+    void
+    bitAdd(std::uint64_t ts, int delta)
+    {
+        for (std::uint64_t i = ts + 1; i <= window_; i += i & (~i + 1))
+            bit_[i] = static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(bit_[i]) + delta);
+    }
+
+    void
+    release(std::uint64_t ts)
+    {
+        bitAdd(ts, -1);
+        tsToKey_[ts] = kNone;
+    }
+
+    void
+    place(std::uint64_t key)
+    {
+        if (nextTs_ == window_) {
+            // Compaction must reclaim at least half the window to
+            // stay amortized O(1); if the live set has outgrown the
+            // caller's capacity hint, grow the window instead of
+            // overflowing it.
+            if (size_ * 2 > window_)
+                grow(window_ * 2);
+            compact();
+        }
+        ts_[key] = nextTs_;
+        tsToKey_[nextTs_] = key;
+        bitAdd(nextTs_, +1);
+        ++nextTs_;
+    }
+
+    /** Widen the timestamp window (compact() rebuilds the BIT). */
+    void
+    grow(std::uint64_t window)
+    {
+        window_ = window;
+        topBit_ = 1;
+        while (topBit_ * 2 <= window_)
+            topBit_ *= 2;
+        tsToKey_.resize(window_, kNone);
+        bit_.assign(window_ + 1, 0);
+    }
+
+    /** Renumber alive timestamps 0..size-1 preserving order. */
+    void
+    compact()
+    {
+        std::uint64_t n = 0;
+        for (std::uint64_t t = 0; t < nextTs_; ++t) {
+            const std::uint64_t key = tsToKey_[t];
+            if (key == kNone)
+                continue;
+            tsToKey_[n] = key;
+            ts_[key] = n;
+            ++n;
+        }
+        std::fill(tsToKey_.begin() + static_cast<std::ptrdiff_t>(n),
+                  tsToKey_.end(), kNone);
+        std::fill(bit_.begin(), bit_.end(), 0);
+        for (std::uint64_t t = 0; t < n; ++t)
+            bitAdd(t, +1);
+        nextTs_ = n;
+    }
+
+    std::vector<std::uint64_t> ts_;      // key -> timestamp
+    std::vector<std::uint64_t> tsToKey_; // timestamp -> key
+    std::vector<std::uint32_t> bit_;     // Fenwick over alive stamps
+    std::uint64_t window_ = 0;
+    std::uint64_t topBit_ = 0;
+    std::uint64_t nextTs_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace conduit
+
+#endif // CONDUIT_SIM_RANK_LRU_HH

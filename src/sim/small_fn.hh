@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable holder.
+ *
+ * The event kernel stores one callback per scheduled event. Every
+ * callback in this repository is a lambda capturing at most a few
+ * pointers (`[this, &ctx, done]` is the largest), yet std::function's
+ * small-object buffer on common ABIs is 16 bytes — so the hot
+ * schedule/fire path paid one heap allocation and one deallocation
+ * per event. SmallFn inlines captures up to kInlineBytes (48) and
+ * only falls back to the heap beyond that, which no current caller
+ * reaches.
+ */
+
+#ifndef CONDUIT_SIM_SMALL_FN_HH
+#define CONDUIT_SIM_SMALL_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace conduit
+{
+
+/** Move-only `void()` callable with a 48-byte inline buffer. */
+class SmallFn
+{
+  public:
+    static constexpr std::size_t kInlineBytes = 48;
+
+    SmallFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn>>>
+    SmallFn(F &&f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<void **>(buf_) =
+                new Fn(std::forward<F>(f));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    SmallFn(SmallFn &&other) noexcept { moveFrom(other); }
+
+    SmallFn &
+    operator=(SmallFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    ~SmallFn() { reset(); }
+
+    void
+    operator()()
+    {
+        ops_->invoke(buf_);
+    }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*relocate)(void *dst, void *src); // move + destroy src
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineBytes &&
+            alignof(Fn) <= alignof(std::max_align_t) &&
+            std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *dst, void *src) {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    // The buffer holds a void* object on the heap path; read it back
+    // as void* and cast the value (not the storage) to Fn*, so no
+    // object is accessed through a non-similar type.
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *p) {
+            (*static_cast<Fn *>(*static_cast<void **>(p)))();
+        },
+        [](void *dst, void *src) {
+            *static_cast<void **>(dst) = *static_cast<void **>(src);
+        },
+        [](void *p) {
+            delete static_cast<Fn *>(*static_cast<void **>(p));
+        },
+    };
+
+    void
+    moveFrom(SmallFn &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace conduit
+
+#endif // CONDUIT_SIM_SMALL_FN_HH

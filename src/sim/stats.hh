@@ -38,7 +38,10 @@ class Counter
  * Exact-quantile histogram over double-valued samples.
  *
  * Samples are stored verbatim; quantiles use the nearest-rank method
- * on a lazily sorted copy.
+ * on a lazily sorted copy (sorted once per mutation epoch, so a
+ * batch of percentile() calls pays one sort). Sum, min and max are
+ * maintained as running values — reading them never re-scans the
+ * sample vector.
  */
 class Histogram
 {
@@ -47,41 +50,23 @@ class Histogram
     add(double sample)
     {
         samples_.push_back(sample);
+        accumulate(sample);
         sorted_ = false;
     }
 
     std::size_t count() const { return samples_.size(); }
 
-    double
-    sum() const
-    {
-        double s = 0.0;
-        for (double v : samples_)
-            s += v;
-        return s;
-    }
+    double sum() const { return sum_; }
 
     double
     mean() const
     {
-        return samples_.empty() ? 0.0 : sum() / samples_.size();
+        return samples_.empty() ? 0.0 : sum_ / samples_.size();
     }
 
-    double
-    min() const
-    {
-        return samples_.empty()
-            ? 0.0
-            : *std::min_element(samples_.begin(), samples_.end());
-    }
+    double min() const { return samples_.empty() ? 0.0 : min_; }
 
-    double
-    max() const
-    {
-        return samples_.empty()
-            ? 0.0
-            : *std::max_element(samples_.begin(), samples_.end());
-    }
+    double max() const { return samples_.empty() ? 0.0 : max_; }
 
     /**
      * Nearest-rank percentile.
@@ -93,8 +78,14 @@ class Histogram
     void
     merge(const Histogram &other)
     {
-        samples_.insert(samples_.end(), other.samples_.begin(),
-                        other.samples_.end());
+        samples_.reserve(samples_.size() + other.samples_.size());
+        // Fold sample by sample: the running sum then matches a
+        // sequential re-scan of the concatenated vector bit for bit
+        // (adding other.sum_ in one step would round differently).
+        for (double v : other.samples_) {
+            samples_.push_back(v);
+            accumulate(v);
+        }
         sorted_ = false;
     }
 
@@ -104,10 +95,28 @@ class Histogram
         samples_.clear();
         cache_.clear();
         sorted_ = false;
+        sum_ = 0.0;
+        min_ = 0.0;
+        max_ = 0.0;
     }
 
   private:
+    void
+    accumulate(double sample)
+    {
+        if (samples_.size() == 1) {
+            min_ = max_ = sample;
+        } else {
+            min_ = std::min(min_, sample);
+            max_ = std::max(max_, sample);
+        }
+        sum_ += sample;
+    }
+
     std::vector<double> samples_;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
     mutable std::vector<double> cache_;
     mutable bool sorted_ = false;
 };

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <set>
+#include <thread>
 
 #include "src/ftl/ftl.hh"
 
@@ -88,6 +90,77 @@ TEST(Ftl, MappingCacheHitsAndMisses)
     EXPECT_FALSE(c3.cacheHit);
 }
 
+TEST(Ftl, StatSetAgreesWithMemberCountersOnBothPaths)
+{
+    // The write path (writePage) touches the mapping cache exactly
+    // like the read path (translate); the StatSet counters used to
+    // miss every write-path touch and under-report cache traffic.
+    SsdConfig cfg = smallCfg();
+    NandArray nand(cfg.nand);
+    StatSet stats;
+    Ftl ftl(nand, cfg, &stats);
+    ftl.preload(64);
+    ftl.setMappingCacheCapacity(16);
+
+    Tick t = 0;
+    std::uint64_t touches = 0;
+    for (Lpn l = 0; l < 32; ++l) {
+        ftl.translate(l, t);
+        ++touches;
+    }
+    for (Lpn l = 0; l < 24; ++l) {
+        t = ftl.writePage(l, t).readyAt;
+        ++touches;
+    }
+    for (Lpn l = 8; l < 16; ++l) {
+        ftl.translate(l, t);
+        ++touches;
+    }
+
+    EXPECT_GT(ftl.mapHits(), 0u);
+    EXPECT_GT(ftl.mapMisses(), 0u);
+    EXPECT_EQ(stats.counter("ftl.map_hits").value(), ftl.mapHits());
+    EXPECT_EQ(stats.counter("ftl.map_misses").value(),
+              ftl.mapMisses());
+    EXPECT_EQ(ftl.mapHits() + ftl.mapMisses(), touches);
+}
+
+TEST(Ftl, HonorsMappingCacheCapacityBelowSixteen)
+{
+    // §5.4-style DRAM-pressure experiments size the cache very
+    // small; a silent 16-entry floor would inflate the hit rate.
+    SsdConfig cfg = smallCfg();
+    NandArray nand(cfg.nand);
+    Ftl ftl(nand, cfg);
+    ftl.preload(32);
+
+    ftl.setMappingCacheCapacity(2);
+    EXPECT_EQ(ftl.mappingCacheCapacity(), 2u);
+    EXPECT_FALSE(ftl.translate(0, 0).cacheHit); // cold
+    EXPECT_FALSE(ftl.translate(1, 0).cacheHit); // cold
+    EXPECT_TRUE(ftl.translate(0, 0).cacheHit);  // both resident
+    EXPECT_FALSE(ftl.translate(2, 0).cacheHit); // evicts lpn 1 (LRU)
+    EXPECT_TRUE(ftl.translate(0, 0).cacheHit);
+    EXPECT_FALSE(ftl.translate(1, 0).cacheHit); // was evicted
+
+    // A 3-entry reuse loop thrashes a 2-entry cache: every touch
+    // misses, exactly what the configured capacity implies.
+    ftl.setMappingCacheCapacity(2);
+    for (int round = 0; round < 3; ++round) {
+        for (Lpn l = 4; l < 7; ++l)
+            EXPECT_FALSE(ftl.translate(l, 0).cacheHit);
+    }
+
+    // Zero clamps to one resident entry, and shrinking evicts down
+    // to the new capacity (MRU survives).
+    ftl.setMappingCacheCapacity(0);
+    EXPECT_EQ(ftl.mappingCacheCapacity(), 1u);
+    EXPECT_FALSE(ftl.translate(9, 0).cacheHit);
+    EXPECT_TRUE(ftl.translate(9, 0).cacheHit);
+    EXPECT_FALSE(ftl.translate(10, 0).cacheHit);
+    EXPECT_FALSE(ftl.translate(9, 0).cacheHit);
+}
+
 TEST(Ftl, ReadPageChargesTranslationPlusSensing)
 {
     SsdConfig cfg = smallCfg();
@@ -142,6 +215,45 @@ TEST(Ftl, WearLevelingBoundsEraseSkew)
     EXPECT_GT(ftl.maxErase(), 0u);
     EXPECT_LE(ftl.maxErase() - ftl.minEraseOfUsed(),
               ftl.maxErase());
+}
+
+TEST(Ftl, GcUnderWritePressureIsDeterministic)
+{
+    // The same write-pressure schedule must produce identical GC
+    // activity and wear state on every run — and on concurrent runs
+    // over private devices, since nothing in the FTL may depend on
+    // shared mutable state.
+    const auto pressure = [] {
+        SsdConfig cfg = smallCfg();
+        cfg.gcThreshold = 0.30;
+        NandArray nand(cfg.nand);
+        Ftl ftl(nand, cfg);
+        ftl.preload(24);
+        Tick t = 0;
+        for (int round = 0; round < 60; ++round) {
+            for (Lpn l = 0; l < 24; ++l)
+                t = ftl.writePage(l, t).readyAt;
+        }
+        return std::array<std::uint64_t, 4>{
+            ftl.gcRuns(), ftl.maxErase(), ftl.freeBlocks(), t};
+    };
+
+    const auto reference = pressure();
+    EXPECT_GT(reference[0], 0u); // GC actually ran
+    EXPECT_EQ(pressure(), reference); // repeat run
+
+    std::array<std::array<std::uint64_t, 4>, 4> results{};
+    {
+        std::vector<std::thread> workers;
+        for (auto &slot : results)
+            workers.emplace_back([&slot, &pressure] {
+                slot = pressure();
+            });
+        for (auto &w : workers)
+            w.join();
+    }
+    for (const auto &r : results)
+        EXPECT_EQ(r, reference);
 }
 
 TEST(Ftl, PreloadBeyondCapacityThrows)

@@ -6,9 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <vector>
 
+#include <list>
+
 #include "src/sim/event_queue.hh"
+#include "src/sim/flat_lru.hh"
+#include "src/sim/rank_lru.hh"
 #include "src/sim/rng.hh"
 #include "src/sim/server.hh"
 #include "src/sim/stats.hh"
@@ -107,6 +112,183 @@ TEST(EventQueue, RunUntilBound)
     EXPECT_EQ(q.pending(), 1u);
 }
 
+TEST(EventQueue, CancelHeavyMemoryStaysBounded)
+{
+    // Open-loop device workloads schedule and cancel events at a
+    // sustained rate. Cancelled entries must not accumulate: slots
+    // are free-listed for reuse and the heap compacts lazily once
+    // dead entries outnumber the live half.
+    EventQueue q;
+    std::deque<EventId> window;
+    constexpr int kPairs = 1'000'000;
+    constexpr std::size_t kWindow = 1024;
+    for (int i = 0; i < kPairs; ++i) {
+        window.push_back(
+            q.schedule(static_cast<Tick>(kPairs + i), [] {}));
+        if (window.size() > kWindow) {
+            ASSERT_TRUE(q.cancel(window.front()));
+            window.pop_front();
+        }
+    }
+    EXPECT_EQ(q.pending(), kWindow);
+    // Slab footprint tracks peak outstanding events, not the 1M
+    // schedule/cancel pairs; the heap stays within a small factor
+    // of the live set.
+    EXPECT_LE(q.slabSlots(), 4 * kWindow);
+    EXPECT_LE(q.heapEntries(), 4 * kWindow);
+    EXPECT_LE(q.cancelledEntries(), q.heapEntries() / 2 + 1);
+    // The survivors all fire, in order.
+    EXPECT_EQ(q.run(), kWindow);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.heapEntries(), 0u);
+}
+
+TEST(EventQueue, StaleIdCannotCancelReusedSlot)
+{
+    // Firing or cancelling releases an event's slab slot for reuse;
+    // the generation stamp in the id must keep stale handles from
+    // cancelling the slot's next occupant.
+    EventQueue q;
+    int fired = 0;
+    const EventId a = q.schedule(10, [&] { ++fired; });
+    ASSERT_TRUE(q.cancel(a));
+    const EventId b = q.schedule(20, [&] { ++fired; });
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(q.cancel(a)); // stale handle, reused slot
+    q.run();
+    EXPECT_EQ(fired, 1);
+    // After b fired, its id is stale too.
+    EXPECT_FALSE(q.cancel(b));
+    const EventId c = q.scheduleAfter(5, [&] { ++fired; });
+    EXPECT_FALSE(q.cancel(b));
+    ASSERT_TRUE(q.cancel(c));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EmptyCallbackIsCancellableAndFiresAsNoOp)
+{
+    EventQueue q;
+    const EventId a = q.schedule(5, EventQueue::Callback{});
+    EXPECT_TRUE(q.cancel(a));
+    q.schedule(6, EventQueue::Callback{});
+    EXPECT_EQ(q.run(), 1u);
+    EXPECT_EQ(q.eventsFired(), 1u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(FlatLru, RecencyOrderAndEviction)
+{
+    FlatLru lru;
+    lru.reset(8);
+    EXPECT_FALSE(lru.touch(3)); // miss inserts
+    EXPECT_FALSE(lru.touch(5));
+    EXPECT_TRUE(lru.touch(3)); // hit moves to front
+    EXPECT_EQ(lru.size(), 2u);
+    EXPECT_EQ(lru.keyOf(lru.head()), 3u);
+    EXPECT_EQ(lru.keyOf(lru.tail()), 5u);
+    EXPECT_EQ(lru.popTail(), 5u);
+    EXPECT_EQ(lru.size(), 1u);
+    lru.eraseKey(3);
+    EXPECT_TRUE(lru.empty());
+    // Freed nodes are recycled; keys beyond the index grow it.
+    EXPECT_FALSE(lru.touch(7));
+    EXPECT_FALSE(lru.touch(100));
+    EXPECT_TRUE(lru.touch(100));
+    EXPECT_EQ(lru.keyOf(lru.tail()), 7u);
+}
+
+TEST(EventQueue, LargeCaptureCallbackTakesHeapPath)
+{
+    // Captures beyond SmallFn's inline buffer (48 bytes) fall back
+    // to the heap; the event must still fire, cancel, and destroy
+    // cleanly (ASan covers the cleanup).
+    EventQueue q;
+    struct Big
+    {
+        std::uint64_t pad[12]; // 96 bytes > kInlineBytes
+    };
+    static_assert(sizeof(Big) > SmallFn::kInlineBytes);
+    Big big{};
+    big.pad[11] = 7;
+    std::uint64_t seen = 0;
+    q.schedule(1, [big, &seen] { seen = big.pad[11]; });
+    const EventId cancelled = q.schedule(2, [big, &seen] { seen = 0; });
+    EXPECT_TRUE(q.cancel(cancelled));
+    q.run();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(RankLru, GrowsWindowWhenLiveSetExceedsCapacityHint)
+{
+    // A caller whose live set outgrows 4x the capacity hint must get
+    // a widened timestamp window, not an overflow: touch far more
+    // distinct keys than the hinted capacity and verify order.
+    RankLru lru;
+    lru.reset(128, 1); // window starts at max(64, 4) = 64
+    for (std::uint64_t k = 0; k < 100; ++k)
+        EXPECT_FALSE(lru.touch(k));
+    EXPECT_EQ(lru.size(), 100u);
+    EXPECT_EQ(lru.keyAtRankFromTail(0), 0u);  // least recent
+    EXPECT_EQ(lru.keyAtRankFromTail(99), 99u); // most recent
+    EXPECT_TRUE(lru.touch(0)); // 0 moves to the front...
+    EXPECT_EQ(lru.keyAtRankFromTail(0), 1u); // ...1 is now LRU
+    EXPECT_EQ(lru.keyAtRankFromTail(99), 0u);
+}
+
+TEST(RankLru, EraseAbsentKeyIsNoOp)
+{
+    RankLru lru;
+    lru.reset(16, 4);
+    lru.eraseKey(3); // never inserted
+    EXPECT_TRUE(lru.empty());
+    EXPECT_FALSE(lru.touch(3));
+    lru.eraseKey(3);
+    lru.eraseKey(3); // double erase
+    EXPECT_TRUE(lru.empty());
+    EXPECT_FALSE(lru.contains(3));
+    EXPECT_FALSE(lru.touch(3)); // reinsert after erase is a miss
+    EXPECT_EQ(lru.size(), 1u);
+}
+
+TEST(RankLru, MatchesReferenceListWalk)
+{
+    // RankLru must reproduce a move-to-front list byte for byte: the
+    // same hit/miss sequence and, for every eviction, the same
+    // victim a skip-step walk from the tail would reach. Drive both
+    // against a random touch stream and compare every decision.
+    constexpr std::uint64_t kKeys = 96;
+    constexpr std::uint64_t kCapacity = 24;
+    std::list<std::uint64_t> ref; // front = most recent
+    RankLru lru;
+    lru.reset(kKeys, kCapacity);
+    Rng touches(11), skips(12);
+
+    for (int step = 0; step < 20000; ++step) {
+        const std::uint64_t key = touches.below(kKeys);
+        const auto it = std::find(ref.begin(), ref.end(), key);
+        const bool ref_hit = it != ref.end();
+        if (ref_hit)
+            ref.erase(it);
+        ref.push_front(key);
+        ASSERT_EQ(lru.touch(key), ref_hit) << "step " << step;
+        ASSERT_EQ(lru.size(), ref.size());
+        if (ref.size() > kCapacity) {
+            const std::uint64_t skip =
+                skips.below(std::max<std::uint64_t>(1, ref.size() / 2));
+            auto vit = std::prev(ref.end());
+            for (std::uint64_t i = 0;
+                 i < skip && vit != ref.begin(); ++i)
+                --vit;
+            const std::uint64_t rank = std::min<std::uint64_t>(
+                skip, lru.size() - 1);
+            ASSERT_EQ(lru.keyAtRankFromTail(rank), *vit)
+                << "step " << step;
+            lru.eraseKey(*vit);
+            ref.erase(vit);
+        }
+    }
+}
+
 TEST(Server, FcfsQueueing)
 {
     Server s("t");
@@ -160,6 +342,81 @@ TEST(Histogram, TailPercentileOfSkewedData)
     h.add(1000.0);
     EXPECT_DOUBLE_EQ(h.percentile(99), 1.0);
     EXPECT_DOUBLE_EQ(h.percentile(99.995), 1000.0);
+}
+
+TEST(Histogram, PercentileCacheTracksInterleavedMutations)
+{
+    // percentile() sorts into a mutable cache; every mutation path
+    // (add, merge, clear) must invalidate it, or a later percentile
+    // would read the stale order.
+    Histogram h;
+    h.add(10.0);
+    h.add(20.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 20.0); // populates cache
+    h.add(5.0); // add after a percentile read
+    EXPECT_DOUBLE_EQ(h.percentile(0), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 20.0);
+
+    Histogram other;
+    other.add(40.0);
+    other.add(1.0);
+    h.merge(other); // merge after a percentile read
+    EXPECT_DOUBLE_EQ(h.percentile(100), 40.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 76.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 40.0);
+
+    h.clear(); // clear after a percentile read
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    h.add(7.0); // reuse after clear
+    EXPECT_DOUBLE_EQ(h.percentile(50), 7.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(Histogram, RunningAggregatesMatchSampleScan)
+{
+    // The running sum/min/max must equal what a full re-scan of the
+    // samples would produce, through any add/merge interleaving.
+    Rng rng(77);
+    Histogram h;
+    std::vector<double> all;
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 100; ++i) {
+            const double v = rng.uniform() * 1e3 - 500.0;
+            h.add(v);
+            all.push_back(v);
+        }
+        Histogram part;
+        for (int i = 0; i < 50; ++i) {
+            const double v = rng.uniform() * 10.0;
+            part.add(v);
+            all.push_back(v);
+        }
+        h.merge(part);
+    }
+    double sum = 0.0;
+    for (double v : all)
+        sum += v;
+    EXPECT_DOUBLE_EQ(h.sum(), sum);
+    EXPECT_DOUBLE_EQ(h.min(), *std::min_element(all.begin(), all.end()));
+    EXPECT_DOUBLE_EQ(h.max(), *std::max_element(all.begin(), all.end()));
+    EXPECT_EQ(h.count(), all.size());
+}
+
+TEST(Histogram, MergeIntoEmptySetsExtrema)
+{
+    Histogram h, other;
+    other.add(-3.0);
+    other.add(9.0);
+    h.merge(other);
+    EXPECT_DOUBLE_EQ(h.min(), -3.0);
+    EXPECT_DOUBLE_EQ(h.max(), 9.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 6.0);
 }
 
 TEST(Rng, DeterministicAcrossInstances)

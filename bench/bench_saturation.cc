@@ -43,39 +43,12 @@ using namespace conduit::bench;
 using conduit::runner::LoadRunSpec;
 using conduit::runner::splitCsv;
 
-[[noreturn]] void
-badExtra(const char *what, const std::string &value)
-{
-    std::fprintf(stderr, "invalid value for %s: '%s'\n", what,
-                 value.c_str());
-    std::exit(2);
-}
-
-unsigned long
-parseCount(const char *flag, const std::string &value)
-{
-    char *end = nullptr;
-    errno = 0;
-    const unsigned long v = std::strtoul(value.c_str(), &end, 10);
-    if (errno != 0 || end == value.c_str() || *end != '\0' ||
-        value[0] == '-' || v == 0)
-        badExtra(flag, value);
-    return v;
-}
-
 std::vector<double>
 parseRates(const std::string &csv)
 {
     std::vector<double> rates;
-    for (const std::string &tok : splitCsv(csv)) {
-        char *end = nullptr;
-        errno = 0;
-        const double v = std::strtod(tok.c_str(), &end);
-        if (errno != 0 || end == tok.c_str() || *end != '\0' ||
-            !(v > 0.0))
-            badExtra("--rates", tok);
-        rates.push_back(v);
-    }
+    for (const std::string &tok : splitCsv(csv))
+        rates.push_back(parsePositive("--rates", tok));
     // The offered-load axis is emitted ascending and deduplicated so
     // every policy's CSV block is strictly monotone in load.
     std::sort(rates.begin(), rates.end());

@@ -336,16 +336,7 @@ main(int argc, char **argv)
                            const std::function<std::string()> &value) {
         if (flag != "--repeat")
             return false;
-        const std::string v = value();
-        char *end = nullptr;
-        errno = 0;
-        const long n = std::strtol(v.c_str(), &end, 10);
-        if (errno != 0 || end == v.c_str() || *end != '\0' || n <= 0) {
-            std::fprintf(stderr, "invalid value for --repeat: '%s'\n",
-                         v.c_str());
-            std::exit(2);
-        }
-        repeat = static_cast<int>(n);
+        repeat = static_cast<int>(parseCount("--repeat", value()));
         return true;
     };
     const SweepCli cli = SweepCli::parse(

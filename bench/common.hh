@@ -12,7 +12,9 @@
 #define CONDUIT_BENCH_COMMON_HH
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,6 +24,46 @@
 
 namespace conduit::bench
 {
+
+/** @name Shared numeric flag parsing (SweepCli extra-flag hooks) @{ */
+
+[[noreturn]] inline void
+badFlagValue(const char *flag, const std::string &value)
+{
+    std::fprintf(stderr, "invalid value for %s: '%s'\n", flag,
+                 value.c_str());
+    std::exit(2);
+}
+
+/** Non-negative integer (> 0 unless @p allow_zero), or usage-exit. */
+inline unsigned long
+parseCount(const char *flag, const std::string &value,
+           bool allow_zero = false)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+    if (errno != 0 || end == value.c_str() || *end != '\0' ||
+        value[0] == '-' || (v == 0 && !allow_zero))
+        badFlagValue(flag, value);
+    return v;
+}
+
+/** Non-negative double (> 0 unless @p allow_zero), or usage-exit. */
+inline double
+parsePositive(const char *flag, const std::string &value,
+              bool allow_zero = false)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(value.c_str(), &end);
+    if (errno != 0 || end == value.c_str() || *end != '\0' ||
+        !(allow_zero ? v >= 0.0 : v > 0.0))
+        badFlagValue(flag, value);
+    return v;
+}
+
+/** @} */
 
 using runner::RunMatrix;
 using runner::RunSpec;

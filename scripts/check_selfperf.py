@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_selfperf records.
+
+Compares a freshly produced BENCH_selfperf JSON record against the
+committed reference and fails when any events/sec figure dropped
+below ``min_ratio`` of the reference. The margin is deliberately
+generous: the reference numbers come from whatever machine produced
+the committed record, while CI runners differ in CPU generation and
+load, so the gate only catches order-of-magnitude regressions (an
+accidentally quadratic hot path, a lost cache), not percent-level
+noise. Byte-level correctness is covered separately by the digest
+diffs — this gate is purely about wall-clock speed.
+
+Usage:
+  check_selfperf.py REFERENCE.json FRESH.json [--min-ratio 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def metrics(record):
+    """Flatten a selfperf record into {metric_name: events_per_sec}."""
+    out = {}
+    for name, value in record.get("microbench", {}).items():
+        if name.endswith("events_per_sec"):
+            out[f"microbench.{name}"] = float(value)
+    for scenario in record.get("scenarios", []):
+        out[f"scenario.{scenario['name']}.events_per_sec"] = float(
+            scenario["events_per_sec"]
+        )
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reference")
+    parser.add_argument("fresh")
+    parser.add_argument("--min-ratio", type=float, default=0.25)
+    args = parser.parse_args()
+
+    with open(args.reference) as f:
+        ref = metrics(json.load(f))
+    with open(args.fresh) as f:
+        new = metrics(json.load(f))
+
+    if not ref:
+        print("error: reference record has no events/sec metrics")
+        return 2
+
+    failures = []
+    for name, ref_val in sorted(ref.items()):
+        if ref_val <= 0:
+            continue
+        if name not in new:
+            failures.append(f"{name}: missing from fresh record")
+            continue
+        ratio = new[name] / ref_val
+        status = "ok" if ratio >= args.min_ratio else "REGRESSION"
+        print(
+            f"{name:48s} ref {ref_val:14.0f}  new {new[name]:14.0f}"
+            f"  ratio {ratio:6.2f}  {status}"
+        )
+        if ratio < args.min_ratio:
+            failures.append(
+                f"{name}: {new[name]:.0f} < {args.min_ratio:.2f} * "
+                f"{ref_val:.0f}"
+            )
+
+    if failures:
+        print("\nperf regression gate FAILED:")
+        for f_msg in failures:
+            print(f"  - {f_msg}")
+        return 1
+    print(f"\nperf gate passed (min ratio {args.min_ratio:.2f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -312,6 +312,8 @@ Device::drain()
     for (const Job &job : jobs_)
         accumulateResult(snap.aggregate, job.result.result);
     snap.aggregate.execTime = snap.makespan;
+    if (const auto *rel = engine_.reliability())
+        snap.reliability = rel->stats();
     return snap;
 }
 

@@ -218,6 +218,13 @@ struct DeviceSnapshot
 
     /** Events fired on the device's queue so far. */
     std::uint64_t eventsFired = 0;
+
+    /**
+     * Cumulative reliability counters (ECC retries, retired blocks,
+     * scrub activity). All zero unless the device's config enables
+     * the reliability subsystem.
+     */
+    reliability::ReliabilityStats reliability;
 };
 
 /**

@@ -17,6 +17,12 @@ Engine::Engine(const SsdConfig &cfg)
                    cfg.isp.simdBytes),
       rng_(cfg.seed)
 {
+    if (cfg_.reliability.enabled) {
+        rel_ = std::make_unique<reliability::ReliabilityModel>(
+            cfg_.nand, cfg_.reliability, cfg_.seed, &stats_);
+        nand_.setReliability(rel_.get());
+        ftl_.setReliability(rel_.get());
+    }
 }
 
 void
@@ -93,8 +99,7 @@ Engine::fragmentsFor(const VecInstruction &instr)
     for (std::uint64_t p = base + lead.basePage;
          p < base + lead.basePage + lead.pageCount; ++p) {
         const Ppn ppn = ftl_.physicalOf(p);
-        const std::uint32_t die =
-            nand_.dieIndex(nand_.decode(ppn));
+        const std::uint32_t die = nand_.dieOf(ppn);
         bool merged = false;
         for (auto &f : frags) {
             if (f.dieIndex == die) {
@@ -138,12 +143,13 @@ Engine::sensedOperands(const VecInstruction &instr) const
 
 Tick
 Engine::dmEstimate(const VecInstruction &instr, Target t,
-                   std::uint64_t &bytes) const
+                   std::uint64_t &bytes, Tick aging_read) const
 {
     const NandConfig &n = cfg_.nand;
     const Tick page_xfer =
         n.dmaTicks + transferTicks(n.pageBytes, n.channelBytesPerSec);
-    const Tick flash_stage = n.cmdTicks + n.readTicks + page_xfer;
+    const Tick flash_stage =
+        n.cmdTicks + n.readTicks + aging_read + page_xfer;
     const Tick dram_page =
         transferTicks(n.pageBytes, cfg_.dram.busBytesPerSec) +
         cfg_.dram.tRcd + cfg_.dram.tCas;
@@ -238,10 +244,17 @@ Engine::features(const VecInstruction &instr, Tick now)
         static_cast<std::uint32_t>(instr.srcs.size()),
         sensedOperands(instr), bytes_per_die);
 
-    // (5) Data movement latency (static, no-contention table).
+    // (5) Data movement latency (static, no-contention table). With
+    // reliability enabled the flash-read stage carries the expected
+    // ECC penalty at the device's current age, so offload decisions
+    // shift as the device wears. (IFP computes on raw latched bits
+    // without the inline ECC pipeline, so its in-place operands pay
+    // no decode penalty — a fidelity note documented in README.)
+    const Tick aging_read =
+        rel_ ? rel_->typicalReadPenalty(now) : 0;
     for (Target t : {Target::Isp, Target::Pud, Target::Ifp}) {
         const auto i = static_cast<std::size_t>(t);
-        f.dm[i] = dmEstimate(instr, t, f.dmBytes[i]);
+        f.dm[i] = dmEstimate(instr, t, f.dmBytes[i], aging_read);
     }
 
     // (4) Resource queueing delay: live reads of the shared
@@ -353,9 +366,7 @@ Engine::recordWrite(Lpn page, Target target, std::uint32_t die,
         // The page's latch lives on the die holding its physical
         // page, spreading latch pressure with the striped layout.
         const Ppn ppn = ftl_.physicalOf(page);
-        m.latchDie = die == kAutoDie
-            ? nand_.dieIndex(nand_.decode(ppn))
-            : die;
+        m.latchDie = die == kAutoDie ? nand_.dieOf(ppn) : die;
         m.dramCached = false;
         auto &fifo = latchFifo_[m.latchDie];
         // Refresh on rewrite: one latch slot per resident page.
@@ -672,6 +683,11 @@ sched::DispatchOutcome
 Engine::dispatchNext(sched::ExecContext &ctx, Tick event_now)
 {
     ctx_ = &ctx;
+    // Background scrub rides on foreground dispatch activity. Ideal
+    // streams stay the unrealizable bound: they never trigger aging
+    // maintenance (and bypass the media model entirely).
+    if (rel_ && !ctx.ideal)
+        maybeScheduleScrub(event_now);
     const VecInstruction &instr = ctx.prog->instrs[ctx.pc];
     ++ctx.pc;
     RunResult &result = ctx.result;
@@ -808,6 +824,54 @@ Engine::sessionBegin(std::uint64_t capacity_pages,
     prepare(capacity_pages, opts);
     queue_ = std::make_unique<EventQueue>();
     scheduler_ = std::make_unique<sched::StreamScheduler>(*this, *queue_);
+    nextScrubAt_ = cfg_.reliability.scrubIntervalTicks;
+    scrubCursor_ = 0;
+    scrubScheduled_ = false;
+}
+
+void
+Engine::maybeScheduleScrub(Tick now)
+{
+    if (scrubScheduled_ || cfg_.reliability.scrubIntervalTicks == 0)
+        return;
+    // Catch up without bursting: an idle gap longer than the
+    // interval yields one pass, not a backlog of them.
+    while (nextScrubAt_ < now)
+        nextScrubAt_ += cfg_.reliability.scrubIntervalTicks;
+    scrubScheduled_ = true;
+    queue_->schedule(
+        nextScrubAt_, [this] { runScrubPass(); }, kScrubPriority);
+}
+
+void
+Engine::runScrubPass()
+{
+    scrubScheduled_ = false;
+    nextScrubAt_ += cfg_.reliability.scrubIntervalTicks;
+    const Tick now = queue_->now();
+    rel_->notePass();
+    const std::uint64_t total = ftl_.totalBlocks();
+    const std::uint64_t window = std::min<std::uint64_t>(
+        cfg_.reliability.scrubBlocksPerPass, total);
+    std::uint32_t refreshed = 0;
+    for (std::uint64_t i = 0; i < window; ++i) {
+        const std::uint64_t bi = scrubCursor_;
+        scrubCursor_ = (scrubCursor_ + 1) % total;
+        if (!rel_->scrubDue(bi, now))
+            continue;
+        if (ftl_.scrubBlock(bi, now)) {
+            // A block that retired during the scrub collection left
+            // the pool rather than being refreshed — it counts
+            // against the pass's migration budget but not as a
+            // refresh in the reported counters.
+            if (!rel_->retired(bi))
+                rel_->noteRefresh();
+            if (++refreshed >= cfg_.reliability.scrubMaxRefreshPerPass)
+                break;
+        }
+    }
+    // No self-rescheduling: the next dispatch re-arms the task, so
+    // the queue drains once foreground traffic stops.
 }
 
 sched::ExecContext &

@@ -55,6 +55,7 @@
 #include "src/nand/ifp_unit.hh"
 #include "src/nand/nand.hh"
 #include "src/offload/policy.hh"
+#include "src/reliability/reliability.hh"
 #include "src/sched/exec_context.hh"
 #include "src/sched/stream_scheduler.hh"
 #include "src/sim/config.hh"
@@ -169,6 +170,16 @@ class Engine : public sched::StreamDispatcher
     /** Access to substrate stats after a run. */
     const StatSet &stats() const { return stats_; }
 
+    /**
+     * The reliability model, or null when the subsystem is disabled
+     * (cfg.reliability.enabled == false, the default).
+     */
+    const reliability::ReliabilityModel *
+    reliability() const
+    {
+        return rel_.get();
+    }
+
   private:
     /** Where the freshest copy of a logical page lives. */
     enum class Loc : std::uint8_t { Flash, Latch, Dram };
@@ -216,9 +227,32 @@ class Engine : public sched::StreamDispatcher
     MoveResult moveForIfp(const VecInstruction &instr, Tick earliest);
     /** @} */
 
-    /** Static (contention-free) movement estimate per target. */
+    /**
+     * Static (contention-free) movement estimate per target.
+     * @p aging_read is the expected ECC penalty per flash read at
+     * the device's current age (0 with reliability disabled), so
+     * offload decisions account for worn-device read latency.
+     */
     Tick dmEstimate(const VecInstruction &instr, Target t,
-                    std::uint64_t &bytes) const;
+                    std::uint64_t &bytes, Tick aging_read) const;
+
+    /** @name Background scrub (reliability subsystem) @{ */
+
+    /** Scrub events fire after same-tick dispatch/completion/retire. */
+    static constexpr int kScrubPriority = 3;
+
+    /**
+     * Arm the next scrub event if none is pending. Called from the
+     * dispatch path, so scrub activity tracks foreground traffic and
+     * the event queue still drains at quiescence (a scrub event
+     * never reschedules itself).
+     */
+    void maybeScheduleScrub(Tick now);
+
+    /** One scrub pass: examine a bounded block window, refresh the
+     *  blocks whose RBER crossed the scrub threshold. */
+    void runScrubPass();
+    /** @} */
 
     /** Commit a dirty DRAM/latch page to the flash array. */
     Tick commitPage(Lpn page, Tick earliest);
@@ -267,6 +301,14 @@ class Engine : public sched::StreamDispatcher
 
     SsdConfig cfg_;
     StatSet stats_;
+
+    /**
+     * Reliability & aging model; null when disabled. Declared before
+     * the substrates that hold raw pointers into it (nand_, ftl_),
+     * so it outlives them on destruction.
+     */
+    std::unique_ptr<reliability::ReliabilityModel> rel_;
+
     NandArray nand_;
     Ftl ftl_;
     DramModel dram_;
@@ -294,6 +336,12 @@ class Engine : public sched::StreamDispatcher
     /** Session event queue + scheduler (created by sessionBegin). */
     std::unique_ptr<EventQueue> queue_;
     std::unique_ptr<sched::StreamScheduler> scheduler_;
+
+    /** @name Scrub-task state (inert with reliability disabled) @{ */
+    Tick nextScrubAt_ = 0;
+    std::uint64_t scrubCursor_ = 0;
+    bool scrubScheduled_ = false;
+    /** @} */
 
     /**
      * Stream whose dispatch (or drain) is currently being serviced;

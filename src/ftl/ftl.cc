@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/reliability/reliability.hh"
+
 namespace conduit
 {
 
@@ -17,8 +19,7 @@ Ftl::Ftl(NandArray &nand, const SsdConfig &cfg, StatSet *stats)
     : nand_(nand), cfg_(cfg), stats_(stats)
 {
     const NandConfig &n = cfg_.nand;
-    const std::uint64_t total_blocks = static_cast<std::uint64_t>(
-        n.channels) * n.diesPerChannel * n.planesPerDie * n.blocksPerPlane;
+    const std::uint64_t total_blocks = n.totalBlocks();
     blocks_.resize(total_blocks);
     for (auto &b : blocks_) {
         b.valid.assign(n.pagesPerBlock, false);
@@ -51,12 +52,19 @@ Ftl::Ftl(NandArray &nand, const SsdConfig &cfg, StatSet *stats)
 std::uint64_t
 Ftl::blockIndex(const FlashAddress &a) const
 {
-    const NandConfig &n = cfg_.nand;
-    std::uint64_t bi = a.channel;
-    bi = bi * n.diesPerChannel + a.die;
-    bi = bi * n.planesPerDie + a.plane;
-    bi = bi * n.blocksPerPlane + a.block;
-    return bi;
+    return nand_.blockIndexOf(a);
+}
+
+bool
+Ftl::isOpenBlock(std::uint64_t bi) const
+{
+    // A plane's current write target stays referenced by openBlock_
+    // even once full (it is only replaced on the slot's next
+    // allocation). Collecting it would reset writePtr under that
+    // live reference and the next allocation would program into a
+    // freed — or retired — block.
+    const std::uint64_t slot = bi / cfg_.nand.blocksPerPlane;
+    return openBlock_[slot] == bi;
 }
 
 FlashAddress
@@ -83,7 +91,12 @@ Ftl::openBlockOn(std::uint64_t plane_slot)
     // this plane becomes the new open block (static wear-leveling).
     // If the plane ran dry, collect garbage on it first.
     const std::uint64_t base = plane_slot * n.blocksPerPlane;
-    for (int attempt = 0; attempt < 2; ++attempt) {
+    // Collect until a free block appears or no victim remains: one
+    // collection need not free anything (the victim may retire), so
+    // a single attempt would give up while reclaimable blocks still
+    // sit on the plane. Each pass consumes one victim, so the loop
+    // is bounded by the plane's block count.
+    for (;;) {
         std::uint64_t best = ~0ULL;
         for (std::uint64_t b = base; b < base + n.blocksPerPlane;
              ++b) {
@@ -100,7 +113,7 @@ Ftl::openBlockOn(std::uint64_t plane_slot)
             --freeBlockCount_;
             return best;
         }
-        if (attempt == 0 && !collectPlane(plane_slot, lastGcTick_))
+        if (!collectPlane(plane_slot, lastGcTick_))
             break;
     }
     throw std::runtime_error("Ftl: plane out of free blocks");
@@ -237,14 +250,17 @@ Ftl::preload(std::uint64_t pages)
 }
 
 bool
-Ftl::collectBlock(std::uint64_t victim, Tick now)
+Ftl::collectBlock(std::uint64_t victim, Tick now, bool scrub)
 {
     const NandConfig &n = cfg_.nand;
-    ++gcRuns_;
-    if (statGcRuns_)
-        statGcRuns_->inc();
+    if (!scrub) {
+        ++gcRuns_;
+        if (statGcRuns_)
+            statGcRuns_->inc();
+    }
 
     BlockState &vb = blocks_[victim];
+    vb.collecting = true;
     FlashAddress va = blockAddress(victim);
     Tick t = now;
     for (std::uint32_t p = 0; p < n.pagesPerBlock; ++p) {
@@ -272,10 +288,39 @@ Ftl::collectBlock(std::uint64_t victim, Tick now)
     va.page = 0;
     nand_.eraseBlock(va, t);
     ++vb.eraseCount;
+    vb.collecting = false;
+    if (rel_) {
+        rel_->noteErase(victim, t);
+        if (rel_->retirePending(victim)) {
+            // Bad-block management: the erase was this block's last.
+            // It leaves the pool for good — over-provisioning
+            // shrinks, so GC triggers earlier from here on.
+            rel_->markRetired(victim);
+            vb.bad = true;
+            vb.free = false;
+            vb.writePtr = 0;
+            ++retiredBlocks_;
+            return true;
+        }
+    }
     vb.free = true;
     vb.writePtr = 0;
     ++freeBlockCount_;
     return true;
+}
+
+bool
+Ftl::scrubBlock(std::uint64_t block, Tick now)
+{
+    const NandConfig &n = cfg_.nand;
+    const BlockState &b = blocks_.at(block);
+    // Only full, closed blocks are refreshable: a plane's active
+    // write target (even when full, it stays the slot's open block
+    // until the next allocation) cannot be erased under it.
+    if (b.free || b.bad || b.collecting ||
+        b.writePtr < n.pagesPerBlock || isOpenBlock(block))
+        return false;
+    return collectBlock(block, now, /*scrub=*/true);
 }
 
 bool
@@ -288,7 +333,8 @@ Ftl::collectPlane(std::uint64_t plane_slot, Tick now)
     std::uint64_t victim = ~0ULL;
     for (std::uint64_t b = base; b < base + n.blocksPerPlane; ++b) {
         const BlockState &bs = blocks_[b];
-        if (bs.free || bs.writePtr < n.pagesPerBlock)
+        if (bs.free || bs.collecting ||
+            bs.writePtr < n.pagesPerBlock || isOpenBlock(b))
             continue;
         if (bs.validCount >= n.pagesPerBlock)
             continue; // nothing reclaimable
@@ -320,7 +366,8 @@ Ftl::maybeGc(Tick now)
         std::uint64_t victim = ~0ULL;
         for (std::uint64_t bi = 0; bi < blocks_.size(); ++bi) {
             const BlockState &b = blocks_[bi];
-            if (b.free || b.writePtr < n.pagesPerBlock)
+            if (b.free || b.collecting ||
+                b.writePtr < n.pagesPerBlock || isOpenBlock(bi))
                 continue; // only full, closed blocks
             if (b.validCount >= n.pagesPerBlock)
                 continue;

@@ -36,12 +36,34 @@ constexpr Ppn kNoPpn = ~static_cast<Ppn>(0);
 constexpr Lpn kNoLpn = ~static_cast<Lpn>(0);
 
 /**
- * Page-mapping FTL with demand mapping cache, GC and wear awareness.
+ * Page-mapping FTL with demand mapping cache, GC, wear awareness and
+ * (when a reliability model is attached) bad-block management.
  */
 class Ftl
 {
   public:
     Ftl(NandArray &nand, const SsdConfig &cfg, StatSet *stats = nullptr);
+
+    /**
+     * Attach the reliability model (null detaches). With it set, a
+     * collected block whose correction history demands retirement is
+     * permanently removed from the free pool after its erase —
+     * over-provisioning shrinks, GC runs hotter — and every erase
+     * advances the model's wear state.
+     */
+    void setReliability(reliability::ReliabilityModel *rel)
+    {
+        rel_ = rel;
+    }
+
+    /**
+     * Background scrub: refresh @p block by migrating its valid
+     * pages to fresh locations and erasing it (resetting its
+     * retention age in the reliability model). Only full, closed,
+     * non-retired blocks are eligible.
+     * @return true if the block was refreshed.
+     */
+    bool scrubBlock(std::uint64_t block, Tick now);
 
     /** Result of an L2P lookup. */
     struct Lookup
@@ -121,6 +143,7 @@ class Ftl
     /** @name Introspection for tests and stats @{ */
     std::uint64_t freeBlocks() const { return freeBlockCount_; }
     std::uint64_t totalBlocks() const { return blocks_.size(); }
+    std::uint64_t retiredBlocks() const { return retiredBlocks_; }
     std::uint64_t gcRuns() const { return gcRuns_; }
     std::uint64_t mapHits() const { return mapHits_; }
     std::uint64_t mapMisses() const { return mapMisses_; }
@@ -138,11 +161,23 @@ class Ftl
                                      // when full
         std::uint32_t eraseCount = 0;
         bool free = true;
+        bool bad = false; // retired: never free, never a GC victim
+
+        /**
+         * Mid-collection reentrancy guard: migrating a victim's
+         * pages allocates fresh ones, which can GC other planes —
+         * the victim itself (fewest valid pages by construction)
+         * must not be re-picked while its collection is in flight.
+         */
+        bool collecting = false;
     };
 
     /** Dense block index over (channel, die, plane, block). */
     std::uint64_t blockIndex(const FlashAddress &a) const;
     FlashAddress blockAddress(std::uint64_t bi) const;
+
+    /** Is @p bi some plane slot's current write target? */
+    bool isOpenBlock(std::uint64_t bi) const;
 
     /** Pick the next open block slot in CWDP-striped order. */
     Ppn allocatePage(Tick now);
@@ -152,13 +187,15 @@ class Ftl
 
     void invalidate(Ppn ppn);
     void maybeGc(Tick now);
-    bool collectBlock(std::uint64_t victim, Tick now);
+    bool collectBlock(std::uint64_t victim, Tick now,
+                      bool scrub = false);
     bool collectPlane(std::uint64_t plane_slot, Tick now);
     void touchMapCache(Lpn lpn, bool &hit);
 
     NandArray &nand_;
     SsdConfig cfg_;
     StatSet *stats_;
+    reliability::ReliabilityModel *rel_ = nullptr;
 
     std::vector<Ppn> l2p_;
     std::vector<BlockState> blocks_;
@@ -169,6 +206,7 @@ class Ftl
 
     std::uint64_t logicalPages_ = 0;
     std::uint64_t freeBlockCount_ = 0;
+    std::uint64_t retiredBlocks_ = 0;
     std::uint64_t gcRuns_ = 0;
     Tick lastGcTick_ = 0;
 

@@ -3,8 +3,24 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/reliability/reliability.hh"
+
 namespace conduit
 {
+
+NandArray::Radix
+NandArray::makeRadix(std::uint64_t value)
+{
+    Radix r;
+    r.div = value == 0 ? 1 : value;
+    if ((r.div & (r.div - 1)) == 0) {
+        r.pow2 = true;
+        r.mask = r.div - 1;
+        while ((std::uint64_t{1} << r.shift) < r.div)
+            ++r.shift;
+    }
+    return r;
+}
 
 NandArray::NandArray(const NandConfig &cfg, StatSet *stats)
     : cfg_(cfg), stats_(stats)
@@ -15,6 +31,12 @@ NandArray::NandArray(const NandConfig &cfg, StatSet *stats)
     channels_.reserve(cfg_.channels);
     for (std::uint32_t c = 0; c < cfg_.channels; ++c)
         channels_.emplace_back("nand.ch" + std::to_string(c));
+    rPage_ = makeRadix(cfg_.pagesPerBlock);
+    rBlock_ = makeRadix(cfg_.blocksPerPlane);
+    rPlane_ = makeRadix(cfg_.planesPerDie);
+    rDie_ = makeRadix(cfg_.diesPerChannel);
+    pagesPerDie_ = makeRadix(static_cast<std::uint64_t>(
+        cfg_.pagesPerBlock) * cfg_.blocksPerPlane * cfg_.planesPerDie);
     if (stats_) {
         statReads_ = &stats_->counter("nand.reads");
         statPrograms_ = &stats_->counter("nand.programs");
@@ -28,15 +50,14 @@ NandArray::NandArray(const NandConfig &cfg, StatSet *stats)
 FlashAddress
 NandArray::decode(Ppn ppn) const
 {
+    // Mixed-radix digits via the cached strides: for the default
+    // geometry only the innermost (pagesPerBlock = 196) split is a
+    // real division — every outer level is a shift/mask.
     FlashAddress a;
-    a.page = static_cast<std::uint32_t>(ppn % cfg_.pagesPerBlock);
-    ppn /= cfg_.pagesPerBlock;
-    a.block = static_cast<std::uint32_t>(ppn % cfg_.blocksPerPlane);
-    ppn /= cfg_.blocksPerPlane;
-    a.plane = static_cast<std::uint32_t>(ppn % cfg_.planesPerDie);
-    ppn /= cfg_.planesPerDie;
-    a.die = static_cast<std::uint32_t>(ppn % cfg_.diesPerChannel);
-    ppn /= cfg_.diesPerChannel;
+    a.page = rPage_.split(ppn);
+    a.block = rBlock_.split(ppn);
+    a.plane = rPlane_.split(ppn);
+    a.die = rDie_.split(ppn);
     a.channel = static_cast<std::uint32_t>(ppn);
     if (a.channel >= cfg_.channels)
         throw std::out_of_range("NandArray::decode: ppn out of range");
@@ -57,8 +78,14 @@ NandArray::encode(const FlashAddress &a) const
 ServiceInterval
 NandArray::readPage(const FlashAddress &a, Tick earliest)
 {
-    auto iv = dies_[dieIndex(a)].acquire(earliest,
-                                         cfg_.cmdTicks + cfg_.readTicks);
+    Tick dur = cfg_.cmdTicks + cfg_.readTicks;
+    if (rel_) {
+        // ECC retry ladder: worn / retention-aged blocks stretch the
+        // sense. Charged as die-busy time, so it queues like tR and
+        // co-run streams see it in the die backlogs.
+        dur += rel_->onRead(blockIndexOf(a), earliest);
+    }
+    auto iv = dies_[dieIndex(a)].acquire(earliest, dur);
     if (statReads_)
         statReads_->inc();
     return iv;
@@ -121,10 +148,26 @@ NandArray::dieBacklog(std::uint32_t die_index, Tick now) const
 Tick
 NandArray::minDieBacklog(Tick now) const
 {
-    Tick best = kMaxTick;
-    for (const auto &d : dies_)
-        best = std::min(best, d.backlog(now));
-    return best == kMaxTick ? 0 : best;
+    if (dies_.empty())
+        return 0;
+    // Free points only move forward, so the cached minimizer stays
+    // minimal until *it* is acquired: every other die was >= it at
+    // the last validation and can only have grown since. Rescan only
+    // when the cached die's free point changed.
+    if (dies_[minDie_].freeAt() != minDieFreeAt_) {
+        Tick best = kMaxTick;
+        std::uint32_t best_die = 0;
+        for (std::uint32_t d = 0; d < dies_.size(); ++d) {
+            const Tick f = dies_[d].freeAt();
+            if (f < best) {
+                best = f;
+                best_die = d;
+            }
+        }
+        minDie_ = best_die;
+        minDieFreeAt_ = best;
+    }
+    return minDieFreeAt_ > now ? minDieFreeAt_ - now : 0;
 }
 
 Tick
@@ -161,6 +204,8 @@ NandArray::reset()
         d.reset();
     for (auto &c : channels_)
         c.reset();
+    minDie_ = 0;
+    minDieFreeAt_ = 0;
 }
 
 } // namespace conduit

@@ -14,6 +14,7 @@
 #define CONDUIT_NAND_NAND_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "src/sim/config.hh"
@@ -23,6 +24,11 @@
 
 namespace conduit
 {
+
+namespace reliability
+{
+class ReliabilityModel;
+}
 
 /** Physical page number (dense index over the whole device). */
 using Ppn = std::uint64_t;
@@ -62,7 +68,46 @@ class NandArray
     {
         return a.channel * cfg_.diesPerChannel + a.die;
     }
+
+    /**
+     * Die of @p ppn without materializing the full address: one
+     * division (a shift for power-of-two geometries) instead of the
+     * four mixed-radix splits of decode(). The hot feature-collection
+     * path (Engine::fragmentsFor) only needs the die.
+     */
+    std::uint32_t
+    dieOf(Ppn ppn) const
+    {
+        const std::uint64_t die = pagesPerDie_.pow2
+            ? ppn >> pagesPerDie_.shift
+            : ppn / pagesPerDie_.div;
+        if (die >= numDies())
+            throw std::out_of_range("NandArray::dieOf: ppn out of range");
+        return static_cast<std::uint32_t>(die);
+    }
+
+    /** Dense block index over (channel, die, plane, block) — the
+     *  same ordering the FTL's block table uses. */
+    std::uint64_t
+    blockIndexOf(const FlashAddress &a) const
+    {
+        std::uint64_t bi = dieIndex(a);
+        bi = bi * cfg_.planesPerDie + a.plane;
+        bi = bi * cfg_.blocksPerPlane + a.block;
+        return bi;
+    }
     /** @} */
+
+    /**
+     * Attach the reliability model (null detaches). When set, every
+     * readPage charges the ECC retry ladder for the page's block on
+     * top of tR, so worn and retention-aged blocks serve reads more
+     * slowly and their die backlogs grow accordingly.
+     */
+    void setReliability(reliability::ReliabilityModel *rel)
+    {
+        rel_ = rel;
+    }
 
     /**
      * Sense one page into the die's page buffer (tR). Does not
@@ -118,10 +163,55 @@ class NandArray
     void reset();
 
   private:
+    /**
+     * One mixed-radix digit of the address codec, precomputed so
+     * decode() performs no repeated config loads and power-of-two
+     * digits split with shift/mask instead of div/mod.
+     */
+    struct Radix
+    {
+        std::uint64_t div = 1;
+        std::uint64_t mask = 0;
+        std::uint32_t shift = 0;
+        bool pow2 = false;
+
+        /** Extract the digit and advance @p ppn to the next level. */
+        std::uint32_t
+        split(Ppn &ppn) const
+        {
+            if (pow2) {
+                const auto digit =
+                    static_cast<std::uint32_t>(ppn & mask);
+                ppn >>= shift;
+                return digit;
+            }
+            const auto digit = static_cast<std::uint32_t>(ppn % div);
+            ppn /= div;
+            return digit;
+        }
+    };
+
+    static Radix makeRadix(std::uint64_t value);
+
     NandConfig cfg_;
     std::vector<Server> dies_;
     std::vector<Server> channels_;
     StatSet *stats_;
+    reliability::ReliabilityModel *rel_ = nullptr;
+
+    /** Cached strides (innermost first) and the pages-per-die span. */
+    Radix rPage_, rBlock_, rPlane_, rDie_;
+    Radix pagesPerDie_;
+
+    /**
+     * Incremental min-die tracker. Server free points only move
+     * forward, so a cached minimizer stays minimal until that die is
+     * acquired again; minDieBacklog() validates the cache against the
+     * die's current free point and rescans only on mismatch, instead
+     * of walking every die once per feature collection.
+     */
+    mutable std::uint32_t minDie_ = 0;
+    mutable Tick minDieFreeAt_ = 0;
 
     // Hot-path counters resolved once: a StatSet lookup per media op
     // costs a string construction plus a map walk.

@@ -1,0 +1,45 @@
+#include "src/reliability/ecc_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace conduit::reliability
+{
+
+EccEngine::EccEngine(const ReliabilityConfig &cfg) : cfg_(cfg)
+{
+    if (!(cfg_.hardDecodeRber > 0.0))
+        throw std::invalid_argument(
+            "EccEngine: hardDecodeRber must be positive");
+    if (!(cfg_.retryRberFactor > 1.0))
+        throw std::invalid_argument(
+            "EccEngine: retryRberFactor must exceed 1");
+    logRetryFactor_ = std::log(cfg_.retryRberFactor);
+}
+
+ReadPlan
+EccEngine::plan(double rber) const
+{
+    ReadPlan p;
+    if (!(rber > cfg_.hardDecodeRber))
+        return p;
+
+    // Smallest k with rber <= hard * factor^k; the epsilon keeps an
+    // exact tier boundary in the cheaper tier.
+    const double need =
+        std::log(rber / cfg_.hardDecodeRber) / logRetryFactor_;
+    const auto k = static_cast<std::uint32_t>(
+        std::max(1.0, std::ceil(need - 1e-12)));
+    p.retries = std::min(k, cfg_.maxReadRetries);
+    p.extraTicks = static_cast<Tick>(p.retries) * cfg_.retryTicks;
+    if (k > cfg_.maxReadRetries) {
+        p.soft = true;
+        p.extraTicks += cfg_.softDecodeTicks;
+    }
+    if (rber > cfg_.uncorrectableRber)
+        p.uncorrectable = true;
+    return p;
+}
+
+} // namespace conduit::reliability

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ECC read-latency ladder.
+ *
+ * Converts a raw bit error rate into the extra die-busy time a read
+ * pays for error correction, modelling the tiered decode pipeline of
+ * modern LDPC controllers:
+ *
+ *   1. hard decode  — RBER within the fast path's budget: free.
+ *   2. read retries — each step re-senses the wordline with shifted
+ *      reference voltages, extending the correctable RBER by a
+ *      constant factor and charging one re-sense latency.
+ *   3. soft decode  — past the retry ladder, a multi-sense soft read
+ *      plus soft-decision LDPC decode is charged on top.
+ *
+ * Beyond @ref ReliabilityConfig::uncorrectableRber the sector is
+ * lost to the inline ECC: the full ladder latency is still charged
+ * (the controller only learns of the failure after exhausting it)
+ * and the caller is expected to retire the block. Recovery of the
+ * data itself (outer RAID, host-level replication) is outside the
+ * model; only the latency and the block's fate are simulated.
+ *
+ * plan() is a pure, monotone function of RBER — higher error rates
+ * never decode faster — which is what makes aged-device latency
+ * sweeps monotone in device age.
+ */
+
+#ifndef CONDUIT_RELIABILITY_ECC_ENGINE_HH
+#define CONDUIT_RELIABILITY_ECC_ENGINE_HH
+
+#include <cstdint>
+
+#include "src/sim/config.hh"
+#include "src/sim/types.hh"
+
+namespace conduit::reliability
+{
+
+/** What one page read costs the decoder beyond the plain sense. */
+struct ReadPlan
+{
+    /** Extra die-busy time (retries + soft decode). */
+    Tick extraTicks = 0;
+
+    /** Read-retry steps taken (0 = fast hard decode). */
+    std::uint32_t retries = 0;
+
+    /** Soft-decision decode was needed after the retry ladder. */
+    bool soft = false;
+
+    /** The sector exceeded the ECC's correction strength. */
+    bool uncorrectable = false;
+};
+
+/** The tiered decoder: RBER -> ReadPlan. */
+class EccEngine
+{
+  public:
+    explicit EccEngine(const ReliabilityConfig &cfg);
+
+    /** Decode plan for a read at @p rber (monotone in rber). */
+    ReadPlan plan(double rber) const;
+
+  private:
+    ReliabilityConfig cfg_;
+    double logRetryFactor_;
+};
+
+} // namespace conduit::reliability
+
+#endif // CONDUIT_RELIABILITY_ECC_ENGINE_HH

@@ -225,6 +225,27 @@ struct LoadRunSpec
 };
 
 /**
+ * One device-aging cell: an offered-load cell executed on a device
+ * fast-forwarded to a given age. The runner enables the reliability
+ * subsystem on the cell's config and applies the fast-forward knobs,
+ * so a ladder of AgingRunSpecs sweeps latency/throughput vs device
+ * age under identical traffic. Cells are independent device
+ * lifetimes and sweep across worker threads like every other cell
+ * shape.
+ */
+struct AgingRunSpec
+{
+    /** The traffic offered to the aged device. */
+    LoadRunSpec load;
+
+    /** P/E cycles every block has absorbed before tick 0. */
+    std::uint32_t preWearCycles = 0;
+
+    /** Retention age of the resident data at tick 0, in days. */
+    double retentionDays = 0.0;
+};
+
+/**
  * Builder crossing workload and technique axes into RunSpecs.
  *
  * Axis order is preserved: build() emits workload-major rows in the

@@ -90,6 +90,54 @@ rowFields(const RunSpec &spec, const RunResult &r)
     };
 }
 
+/** CSV writer over pre-built field rows (header from the first). */
+void
+writeFieldCsv(std::ostream &os,
+              const std::vector<std::vector<Field>> &rows)
+{
+    bool header_done = false;
+    for (const auto &fields : rows) {
+        if (!header_done) {
+            for (std::size_t f = 0; f < fields.size(); ++f)
+                os << (f ? "," : "") << fields[f].name;
+            os << "\n";
+            header_done = true;
+        }
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+            if (f)
+                os << ",";
+            if (fields[f].quoted)
+                os << '"' << fields[f].value << '"';
+            else
+                os << fields[f].value;
+        }
+        os << "\n";
+    }
+}
+
+/** JSON array-of-objects writer over pre-built field rows. */
+void
+writeFieldJson(std::ostream &os,
+               const std::vector<std::vector<Field>> &rows)
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &fields = rows[i];
+        os << "  {";
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+            if (f)
+                os << ", ";
+            os << '"' << fields[f].name << "\": ";
+            if (fields[f].quoted)
+                os << '"' << jsonEscape(fields[f].value) << '"';
+            else
+                os << fields[f].value;
+        }
+        os << (i + 1 < rows.size() ? "},\n" : "}\n");
+    }
+    os << "]\n";
+}
+
 } // namespace
 
 SweepResult::SweepResult(std::vector<RunSpec> specs,
@@ -157,46 +205,21 @@ SweepResult::techniqueLabels() const
 void
 SweepResult::writeCsv(std::ostream &os) const
 {
-    bool header_done = false;
-    for (std::size_t i = 0; i < results_.size(); ++i) {
-        const auto fields = rowFields(specs_[i], results_[i]);
-        if (!header_done) {
-            for (std::size_t f = 0; f < fields.size(); ++f)
-                os << (f ? "," : "") << fields[f].name;
-            os << "\n";
-            header_done = true;
-        }
-        for (std::size_t f = 0; f < fields.size(); ++f) {
-            if (f)
-                os << ",";
-            if (fields[f].quoted)
-                os << '"' << fields[f].value << '"';
-            else
-                os << fields[f].value;
-        }
-        os << "\n";
-    }
+    std::vector<std::vector<Field>> fields;
+    fields.reserve(results_.size());
+    for (std::size_t i = 0; i < results_.size(); ++i)
+        fields.push_back(rowFields(specs_[i], results_[i]));
+    writeFieldCsv(os, fields);
 }
 
 void
 SweepResult::writeJson(std::ostream &os) const
 {
-    os << "[\n";
-    for (std::size_t i = 0; i < results_.size(); ++i) {
-        const auto fields = rowFields(specs_[i], results_[i]);
-        os << "  {";
-        for (std::size_t f = 0; f < fields.size(); ++f) {
-            if (f)
-                os << ", ";
-            os << '"' << fields[f].name << "\": ";
-            if (fields[f].quoted)
-                os << '"' << jsonEscape(fields[f].value) << '"';
-            else
-                os << fields[f].value;
-        }
-        os << (i + 1 < results_.size() ? "},\n" : "}\n");
-    }
-    os << "]\n";
+    std::vector<std::vector<Field>> fields;
+    fields.reserve(results_.size());
+    for (std::size_t i = 0; i < results_.size(); ++i)
+        fields.push_back(rowFields(specs_[i], results_[i]));
+    writeFieldJson(os, fields);
 }
 
 bool
@@ -240,6 +263,35 @@ loadRowFields(const LoadRow &r)
     };
 }
 
+std::vector<Field>
+agingRowFields(const AgingRow &r)
+{
+    std::vector<Field> fields = loadRowFields(r.load);
+    // The age axis sits right after the identity columns so grouped
+    // (workload, technique) blocks read as age ladders.
+    const std::vector<Field> age = {
+        {"pre_wear_cycles", std::to_string(r.preWearCycles), false},
+        {"retention_days", fmtDouble(r.retentionDays), false},
+    };
+    fields.insert(fields.begin() + 2, age.begin(), age.end());
+    const reliability::ReliabilityStats &s = r.rel;
+    fields.push_back({"retried_reads",
+                      std::to_string(s.retriedReads), false});
+    fields.push_back({"ecc_retries",
+                      std::to_string(s.eccRetries), false});
+    fields.push_back({"soft_decodes",
+                      std::to_string(s.softDecodes), false});
+    fields.push_back({"uncorrectable_reads",
+                      std::to_string(s.uncorrectableReads), false});
+    fields.push_back({"retired_blocks",
+                      std::to_string(s.retiredBlocks), false});
+    fields.push_back({"scrub_passes",
+                      std::to_string(s.scrubPasses), false});
+    fields.push_back({"scrub_refreshes",
+                      std::to_string(s.scrubRefreshes), false});
+    return fields;
+}
+
 } // namespace
 
 LoadRow
@@ -274,46 +326,21 @@ makeLoadRow(const LoadRunSpec &spec, const DeviceSnapshot &snap)
 void
 writeLoadCsv(std::ostream &os, const std::vector<LoadRow> &rows)
 {
-    bool header_done = false;
-    for (const LoadRow &row : rows) {
-        const auto fields = loadRowFields(row);
-        if (!header_done) {
-            for (std::size_t f = 0; f < fields.size(); ++f)
-                os << (f ? "," : "") << fields[f].name;
-            os << "\n";
-            header_done = true;
-        }
-        for (std::size_t f = 0; f < fields.size(); ++f) {
-            if (f)
-                os << ",";
-            if (fields[f].quoted)
-                os << '"' << fields[f].value << '"';
-            else
-                os << fields[f].value;
-        }
-        os << "\n";
-    }
+    std::vector<std::vector<Field>> fields;
+    fields.reserve(rows.size());
+    for (const LoadRow &row : rows)
+        fields.push_back(loadRowFields(row));
+    writeFieldCsv(os, fields);
 }
 
 void
 writeLoadJson(std::ostream &os, const std::vector<LoadRow> &rows)
 {
-    os << "[\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const auto fields = loadRowFields(rows[i]);
-        os << "  {";
-        for (std::size_t f = 0; f < fields.size(); ++f) {
-            if (f)
-                os << ", ";
-            os << '"' << fields[f].name << "\": ";
-            if (fields[f].quoted)
-                os << '"' << jsonEscape(fields[f].value) << '"';
-            else
-                os << fields[f].value;
-        }
-        os << (i + 1 < rows.size() ? "},\n" : "}\n");
-    }
-    os << "]\n";
+    std::vector<std::vector<Field>> fields;
+    fields.reserve(rows.size());
+    for (const LoadRow &row : rows)
+        fields.push_back(loadRowFields(row));
+    writeFieldJson(os, fields);
 }
 
 bool
@@ -335,6 +362,59 @@ writeLoadJsonFile(const std::string &path,
     if (!os)
         return false;
     writeLoadJson(os, rows);
+    return static_cast<bool>(os);
+}
+
+AgingRow
+makeAgingRow(const AgingRunSpec &spec, const DeviceSnapshot &snap)
+{
+    AgingRow r;
+    r.load = makeLoadRow(spec.load, snap);
+    r.preWearCycles = spec.preWearCycles;
+    r.retentionDays = spec.retentionDays;
+    r.rel = snap.reliability;
+    return r;
+}
+
+void
+writeAgingCsv(std::ostream &os, const std::vector<AgingRow> &rows)
+{
+    std::vector<std::vector<Field>> fields;
+    fields.reserve(rows.size());
+    for (const AgingRow &row : rows)
+        fields.push_back(agingRowFields(row));
+    writeFieldCsv(os, fields);
+}
+
+void
+writeAgingJson(std::ostream &os, const std::vector<AgingRow> &rows)
+{
+    std::vector<std::vector<Field>> fields;
+    fields.reserve(rows.size());
+    for (const AgingRow &row : rows)
+        fields.push_back(agingRowFields(row));
+    writeFieldJson(os, fields);
+}
+
+bool
+writeAgingCsvFile(const std::string &path,
+                  const std::vector<AgingRow> &rows)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeAgingCsv(os, rows);
+    return static_cast<bool>(os);
+}
+
+bool
+writeAgingJsonFile(const std::string &path,
+                   const std::vector<AgingRow> &rows)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeAgingJson(os, rows);
     return static_cast<bool>(os);
 }
 

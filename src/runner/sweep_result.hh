@@ -127,6 +127,39 @@ bool writeLoadJsonFile(const std::string &path,
                        const std::vector<LoadRow> &rows);
 /** @} */
 
+/**
+ * One emitted row of a device-aging sweep: the offered-load row
+ * fields plus the device's age and its reliability outcomes.
+ */
+struct AgingRow
+{
+    /** The traffic cell's operating point and outcomes. */
+    LoadRow load;
+
+    /** Device age the cell ran at. */
+    std::uint32_t preWearCycles = 0;
+    double retentionDays = 0.0;
+
+    /** Reliability outcomes of the cell's device lifetime. */
+    reliability::ReliabilityStats rel;
+};
+
+/** Reduce an executed aging cell's snapshot to its emitted row. */
+AgingRow makeAgingRow(const AgingRunSpec &spec,
+                      const DeviceSnapshot &snap);
+
+/** @name Aging row emission (byte-identical for identical specs,
+ *  any thread count) @{ */
+void writeAgingCsv(std::ostream &os,
+                   const std::vector<AgingRow> &rows);
+void writeAgingJson(std::ostream &os,
+                    const std::vector<AgingRow> &rows);
+bool writeAgingCsvFile(const std::string &path,
+                       const std::vector<AgingRow> &rows);
+bool writeAgingJsonFile(const std::string &path,
+                        const std::vector<AgingRow> &rows);
+/** @} */
+
 /** Geometric mean of a vector of ratios (0 if empty). */
 double gmean(const std::vector<double> &xs);
 

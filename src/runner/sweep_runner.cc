@@ -284,6 +284,32 @@ SweepRunner::runLoad(const LoadRunSpec &spec)
     return dev.drain();
 }
 
+DeviceSnapshot
+SweepRunner::runAging(const AgingRunSpec &spec)
+{
+    LoadRunSpec cell = spec.load;
+    cell.config.reliability.enabled = true;
+    cell.config.reliability.preWearCycles = spec.preWearCycles;
+    cell.config.reliability.retentionDays = spec.retentionDays;
+    return runLoad(cell);
+}
+
+std::vector<DeviceSnapshot>
+SweepRunner::runAgingAll(const std::vector<AgingRunSpec> &specs)
+{
+    std::vector<DeviceSnapshot> results(specs.size());
+    timedSweep(specs.size(), [&] {
+        parallelFor(workerCount(specs.size()), specs.size(),
+                    [&](std::size_t i) {
+                        results[i] = runAging(specs[i]);
+                        perfEvents_.fetch_add(
+                            results[i].eventsFired,
+                            std::memory_order_relaxed);
+                    });
+    });
+    return results;
+}
+
 std::vector<DeviceSnapshot>
 SweepRunner::runLoadAll(const std::vector<LoadRunSpec> &specs)
 {

@@ -103,6 +103,21 @@ class SweepRunner
     runLoadAll(const std::vector<LoadRunSpec> &specs);
 
     /**
+     * Execute one aging cell: the spec's offered-load cell on a
+     * device with the reliability subsystem enabled and fast-
+     * forwarded to (preWearCycles, retentionDays). Deterministic for
+     * equal specs.
+     */
+    DeviceSnapshot runAging(const AgingRunSpec &spec);
+
+    /**
+     * Execute every aging cell across the worker pool and return
+     * snapshots in spec order (thread-count invariant like run()).
+     */
+    std::vector<DeviceSnapshot>
+    runAgingAll(const std::vector<AgingRunSpec> &specs);
+
+    /**
      * Worker threads a sweep of @p jobs cells would use: the
      * --threads option (0 = hardware concurrency) clamped to the
      * job count.

@@ -47,10 +47,16 @@ struct NandConfig
     std::uint32_t maxOrOperands = 4;     // single-sensing OR fan-in
 
     std::uint64_t
-    totalPages() const
+    totalBlocks() const
     {
         return static_cast<std::uint64_t>(channels) * diesPerChannel *
-            planesPerDie * blocksPerPlane * pagesPerBlock;
+            planesPerDie * blocksPerPlane;
+    }
+
+    std::uint64_t
+    totalPages() const
+    {
+        return totalBlocks() * pagesPerBlock;
     }
 
     std::uint64_t
@@ -201,6 +207,89 @@ struct ComputeModelConfig
     std::uint32_t ifpMulShuttles = 6;
 };
 
+/**
+ * Reliability & device-aging model (src/reliability/).
+ *
+ * Off by default: with @ref enabled false no reliability object is
+ * constructed, no RNG stream is consumed, and every existing bench
+ * output is byte-identical to a build without the subsystem.
+ *
+ * When enabled, each block's raw bit error rate grows with program/
+ * erase cycling and retention age; the ECC engine converts RBER into
+ * a read-latency ladder (hard decode -> read retries -> soft decode),
+ * blocks whose correction history crosses a threshold are retired by
+ * the FTL (shrinking over-provisioning), and a background scrub task
+ * refreshes high-RBER blocks on the event queue.
+ */
+struct ReliabilityConfig
+{
+    /** Master switch; everything below is inert when false. */
+    bool enabled = false;
+
+    /** @name Device fast-forward (aged initial state) @{ */
+    /** P/E cycles every block has already absorbed at t = 0. */
+    std::uint32_t preWearCycles = 0;
+    /** Retention age of the resident data at t = 0, in days. */
+    double retentionDays = 0.0;
+    /** @} */
+
+    /** @name RBER model: rberFresh * exp(wearAlpha * pe/rated)
+     *        * (1 + retentionBeta * (days/nominal)^1.1)
+     *        * per-block jitter
+     *  (the 1.1 retention exponent is fixed in RberModel — the
+     *  constants below are calibrated for it) @{ */
+    double rberFresh = 2e-4;        // fresh device, zero retention
+    std::uint32_t ratedCycles = 3000;
+    double wearAlpha = 3.4;         // ~30x RBER at rated cycles
+    double retentionBeta = 4.0;     // 5x RBER at nominal retention
+    double nominalRetentionDays = 90.0;
+    /** Deterministic per-block variation: jitter in [1-j, 1+j]. */
+    double blockJitter = 0.15;
+    /** @} */
+
+    /** @name ECC retry ladder @{ */
+    /** Highest RBER the fast hard-decode path corrects for free. */
+    double hardDecodeRber = 1e-3;
+    /** Each read-retry step extends the correctable RBER by this. */
+    double retryRberFactor = 1.6;
+    std::uint32_t maxReadRetries = 8;
+    /** Extra die-busy time per read-retry step (one re-sense). */
+    Tick retryTicks = usToTicks(24);
+    /** Soft-decode stage beyond the retry ladder (LDPC soft read). */
+    Tick softDecodeTicks = usToTicks(90);
+    /** Beyond this the sector is uncorrectable: full-ladder latency
+     *  is charged and the block is queued for retirement. */
+    double uncorrectableRber = 0.08;
+    /** @} */
+
+    /** @name Bad-block management @{ */
+    /**
+     * Soft-decoded reads a block absorbs before it is retired at its
+     * next erase. Only reads that exhaust the retry ladder vote for
+     * retirement — ordinary retries are routine on an aged device
+     * and must not retire the whole pool — and an uncorrectable read
+     * queues the block immediately.
+     */
+    std::uint32_t retireSoftThreshold = 8;
+    /** @} */
+
+    /** @name Background scrub @{ */
+    /** Spacing of scrub passes in simulated time (0 disables). */
+    Tick scrubIntervalTicks = msToTicks(10);
+    /** Blocks examined per pass (bounded so passes stay cheap). */
+    std::uint32_t scrubBlocksPerPass = 64;
+    /** Blocks whose RBER exceeds this are refreshed (rewritten). */
+    double scrubRberThreshold = 2e-2;
+    /**
+     * Refreshes per pass. A refresh migrates a whole block, so this
+     * rate-limits scrub media traffic: on a device aged past the
+     * threshold everywhere, scrub becomes a steady background load
+     * instead of a storm that starves the foreground.
+     */
+    std::uint32_t scrubMaxRefreshPerPass = 1;
+    /** @} */
+};
+
 /** Top-level simulated-system configuration. */
 struct SsdConfig
 {
@@ -211,6 +300,7 @@ struct SsdConfig
     EnergyConfig energy;
     OverheadConfig overhead;
     ComputeModelConfig compute;
+    ReliabilityConfig reliability;
 
     /**
      * Default SIMD width produced by the vectorizer (lanes).

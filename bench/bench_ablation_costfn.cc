@@ -71,5 +71,6 @@ main(int argc, char **argv)
     std::printf("\n(values > 1.0 mean the ablated variant is slower "
                 "than full Conduit)\n");
 
-    return cli.finish(sweep);
+    const auto perf = runner.lastPerf();
+    return cli.finish(sweep, &perf);
 }

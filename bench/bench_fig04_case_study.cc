@@ -113,5 +113,6 @@ main(int argc, char **argv)
                 "IFP+ISP best on compute-intensive (+28%% over IFP) "
                 "and mixed (+40%% over IFP).\n");
 
-    return cli.finish(sweep);
+    const auto perf = runner.lastPerf();
+    return cli.finish(sweep, &perf);
 }

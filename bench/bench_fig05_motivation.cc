@@ -66,5 +66,6 @@ main(int argc, char **argv)
                     ideal / dm);
     }
 
-    return cli.finish(sweep);
+    const auto perf = runner.lastPerf();
+    return cli.finish(sweep, &perf);
 }

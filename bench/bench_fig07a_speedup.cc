@@ -75,5 +75,6 @@ main(int argc, char **argv)
                         100.0 * conduit / gmean(speedups["Ideal"]));
     }
 
-    return cli.finish(sweep);
+    const auto perf = runner.lastPerf();
+    return cli.finish(sweep, &perf);
 }

@@ -81,5 +81,6 @@ main(int argc, char **argv)
                 100.0 * gmean(ratio["Ideal"]) / conduit);
     }
 
-    return cli.finish(sweep);
+    const auto perf = runner.lastPerf();
+    return cli.finish(sweep, &perf);
 }

@@ -48,5 +48,6 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
-    return cli.finish(sweep);
+    const auto perf = runner.lastPerf();
+    return cli.finish(sweep, &perf);
 }

@@ -118,5 +118,6 @@ main(int argc, char **argv)
                     switches, r.resourceTrace.size());
     }
 
-    return cli.finish(sweep);
+    const auto perf = runner.lastPerf();
+    return cli.finish(sweep, &perf);
 }

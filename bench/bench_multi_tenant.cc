@@ -218,5 +218,6 @@ main(int argc, char **argv)
 
     const SweepResult rows(std::move(rowSpecs), std::move(rowResults),
                            wall, runner.workerCount(cells.size()));
-    return cli.finish(rows);
+    const auto perf = runner.lastPerf();
+    return cli.finish(rows, &perf);
 }

@@ -213,6 +213,13 @@ main(int argc, char **argv)
     }
 
     int status = 0;
+    if (!cli.cellPerfPath.empty() &&
+        !SweepCli::writeCellPerfCsv(cli.cellPerfPath,
+                                    runner.lastPerf())) {
+        std::fprintf(stderr, "error: could not write %s\n",
+                     cli.cellPerfPath.c_str());
+        status = 1;
+    }
     if (!cli.csvPath.empty() &&
         !runner::writeLoadCsvFile(cli.csvPath, rows)) {
         std::fprintf(stderr, "error: could not write %s\n",

@@ -11,12 +11,20 @@ accidentally quadratic hot path, a lost cache), not percent-level
 noise. Byte-level correctness is covered separately by the digest
 diffs — this gate is purely about wall-clock speed.
 
+Every metric's per-metric ratio is printed, improvements included
+(ratio >= 2 is flagged "improved"), and a geometric-mean summary
+closes the report so a branch's overall trajectory is one number.
+Metrics present only in the fresh record are reported as "new" —
+adding a microbench must not fail the gate — while metrics missing
+from the fresh record still fail it.
+
 Usage:
   check_selfperf.py REFERENCE.json FRESH.json [--min-ratio 0.25]
 """
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -50,6 +58,7 @@ def main():
         return 2
 
     failures = []
+    ratios = []
     for name, ref_val in sorted(ref.items()):
         if ref_val <= 0:
             continue
@@ -57,7 +66,13 @@ def main():
             failures.append(f"{name}: missing from fresh record")
             continue
         ratio = new[name] / ref_val
-        status = "ok" if ratio >= args.min_ratio else "REGRESSION"
+        ratios.append(ratio)
+        if ratio < args.min_ratio:
+            status = "REGRESSION"
+        elif ratio >= 2.0:
+            status = "ok (improved)"
+        else:
+            status = "ok"
         print(
             f"{name:48s} ref {ref_val:14.0f}  new {new[name]:14.0f}"
             f"  ratio {ratio:6.2f}  {status}"
@@ -67,13 +82,24 @@ def main():
                 f"{name}: {new[name]:.0f} < {args.min_ratio:.2f} * "
                 f"{ref_val:.0f}"
             )
+    for name in sorted(set(new) - set(ref)):
+        print(
+            f"{name:48s} ref {'-':>14s}  new {new[name]:14.0f}"
+            f"  ratio {'-':>6s}  new metric"
+        )
+
+    if ratios:
+        gm = math.exp(sum(math.log(r) for r in ratios if r > 0)
+                      / len(ratios))
+        print(f"\ngeometric-mean ratio over {len(ratios)} shared "
+              f"metrics: {gm:.2f}")
 
     if failures:
         print("\nperf regression gate FAILED:")
         for f_msg in failures:
             print(f"  - {f_msg}")
         return 1
-    print(f"\nperf gate passed (min ratio {args.min_ratio:.2f})")
+    print(f"perf gate passed (min ratio {args.min_ratio:.2f})")
     return 0
 
 

@@ -68,13 +68,60 @@ HostModel::run(const Program &prog) const
         return false;
     };
 
+    // Per-operand aggregation over the page loops. Two observations
+    // keep this exactly equivalent to touching every page:
+    //  - Re-touching the current MRU page is a guaranteed hit that
+    //    leaves the recency order unchanged, and the randomized
+    //    victim (rank <= size-2 from the tail) can never be the MRU,
+    //    so those touches are observable no-ops and are skipped.
+    //  - An operand whose page range equals the immediately previous
+    //    operand's, where that previous pass was all hits, replays a
+    //    pure-hit walk: no rng draws, no evictions, and the walk
+    //    restores the identical recency order it started from. The
+    //    whole range is skipped. These kernels re-read the same
+    //    operand back to back constantly (e.g. state in AES rounds),
+    //    which is what made the per-page walk the top cost of
+    //    host-baseline cells.
+    std::uint64_t mruPage = ~std::uint64_t{0};
+    std::uint64_t lastBase = ~std::uint64_t{0};
+    std::uint64_t lastCount = 0;
+    bool lastAllHit = false;
+
+    // Misses are returned per operand and charged in one aggregate
+    // update instead of per page.
+    auto touchRange = [&](std::uint64_t base,
+                          std::uint64_t count) -> std::uint64_t {
+        if (count == 0)
+            return 0; // touches nothing; keep the replay tracking
+        if (base == lastBase && count == lastCount && lastAllHit)
+            return 0; // all-hit replay of the previous operand
+        std::uint64_t misses = 0;
+        for (std::uint64_t p = base; p < base + count; ++p) {
+            if (p == mruPage)
+                continue; // MRU re-touch: observable no-op
+            if (!touch(p))
+                ++misses;
+            mruPage = p;
+        }
+        lastBase = base;
+        lastCount = count;
+        lastAllHit = misses == 0;
+        return misses;
+    };
+
+    // opsPerSec is loop-invariant per latency class; indexed by the
+    // LatencyClass enum value.
+    const double opsTab[3] = {opsPerSec(LatencyClass::Low),
+                              opsPerSec(LatencyClass::Medium),
+                              opsPerSec(LatencyClass::High)};
+
     double compute_s = 0.0;
     std::uint64_t dirty_pages = 0;
     std::uint64_t gather_bytes = 0;
 
     for (const auto &vi : prog.instrs) {
         compute_s += static_cast<double>(vi.lanes) /
-            opsPerSec(latencyClass(vi.op));
+            opsTab[static_cast<std::size_t>(latencyClass(vi.op))];
         if (vi.indirect) {
             // Data-dependent gather: every lane is an independent
             // random access; misses fetch a cache line's worth from
@@ -83,19 +130,13 @@ HostModel::run(const Program &prog) const
                 static_cast<double>(vi.lanes) * (1.0 - frac) * 64.0);
         }
         for (const auto &src : vi.srcs) {
-            for (std::uint64_t p = src.basePage;
-                 p < src.basePage + src.pageCount; ++p) {
-                if (!touch(p)) {
-                    r.pcieBytes += prog.pageBytes;
-                    ++r.flashPagesRead;
-                }
-            }
+            const std::uint64_t misses =
+                touchRange(src.basePage, src.pageCount);
+            r.pcieBytes += misses * prog.pageBytes;
+            r.flashPagesRead += misses;
         }
-        for (std::uint64_t p = vi.dst.basePage;
-             p < vi.dst.basePage + vi.dst.pageCount; ++p) {
-            touch(p);
-            ++dirty_pages;
-        }
+        touchRange(vi.dst.basePage, vi.dst.pageCount);
+        dirty_pages += vi.dst.pageCount;
     }
 
     // Results written back to the SSD once (page granularity,

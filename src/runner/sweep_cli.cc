@@ -21,8 +21,8 @@ usage(const char *prog, int code, const char *extra_usage = nullptr)
         stderr,
         "usage: %s [--threads N] [--scale X] [--workloads a,b]\n"
         "          [--techniques a,b] [--csv PATH] [--json PATH]\n"
-        "          [--list-workloads] [--list-techniques]\n"
-        "          [--list-policies]\n",
+        "          [--cell-perf PATH] [--list-workloads]\n"
+        "          [--list-techniques] [--list-policies]\n",
         prog);
     if (extra_usage)
         std::fputs(extra_usage, stderr);
@@ -103,6 +103,8 @@ SweepCli::parse(int argc, char **argv, const FlagHandler &extra,
             cli.csvPath = value();
         else if (arg == "--json")
             cli.jsonPath = value();
+        else if (arg == "--cell-perf")
+            cli.cellPerfPath = value();
         else if (extra && extra(arg, value))
             continue;
         else {
@@ -154,8 +156,26 @@ SweepCli::configure(RunMatrix &matrix,
     matrix.filterTechniques(techniques);
 }
 
+bool
+SweepCli::writeCellPerfCsv(const std::string &path,
+                           const SweepPerf &perf)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f,
+                 "label,wall_seconds,events_fired,events_per_sec\n");
+    for (const SweepPerf::CellPerf &c : perf.perCell)
+        std::fprintf(f, "%s,%.6f,%llu,%.0f\n", c.label.c_str(),
+                     c.wallSeconds,
+                     static_cast<unsigned long long>(c.eventsFired),
+                     c.eventsPerSec());
+    return std::fclose(f) == 0;
+}
+
 int
-SweepCli::finish(const SweepResult &sweep) const
+SweepCli::finish(const SweepResult &sweep,
+                 const SweepPerf *perf) const
 {
     int status = 0;
     if (!csvPath.empty() && !sweep.writeCsvFile(csvPath)) {
@@ -167,6 +187,18 @@ SweepCli::finish(const SweepResult &sweep) const
         std::fprintf(stderr, "error: could not write %s\n",
                      jsonPath.c_str());
         status = 1;
+    }
+    if (!cellPerfPath.empty()) {
+        if (!perf) {
+            std::fprintf(stderr,
+                         "error: this bench does not attribute "
+                         "per-cell perf; --cell-perf ignored\n");
+            status = 1;
+        } else if (!writeCellPerfCsv(cellPerfPath, *perf)) {
+            std::fprintf(stderr, "error: could not write %s\n",
+                         cellPerfPath.c_str());
+            status = 1;
+        }
     }
     std::fprintf(stderr,
                  "[sweep] %zu runs on %u thread%s in %.2fs\n",

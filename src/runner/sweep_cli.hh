@@ -10,6 +10,7 @@
  *   --techniques a,b   keep only the named technique columns
  *   --csv PATH         write machine-readable rows as CSV
  *   --json PATH        write machine-readable rows as JSON
+ *   --cell-perf PATH   write per-cell wall-clock attribution as CSV
  *   --list-workloads   print the workload names --workloads accepts
  *   --list-techniques  print the technique names --techniques accepts
  *   --list-policies    print every name makePolicy() accepts
@@ -43,6 +44,13 @@ struct SweepCli
     std::string techniqueFilter;
     std::string csvPath;
     std::string jsonPath;
+    /**
+     * --cell-perf PATH: per-cell wall-seconds / events-fired rows
+     * (SweepPerf::perCell) as CSV. Off by default — wall-clock
+     * attribution is nondeterministic, so it never lands in the
+     * default outputs the byte-identity contract covers.
+     */
+    std::string cellPerfPath;
 
     /**
      * --list-workloads / --list-techniques: defer the listing until
@@ -95,8 +103,21 @@ struct SweepCli
      * @return Process exit status: 0 on success, 1 when a requested
      *         output file could not be written (benches return this
      *         from main so scripted pipelines see the failure).
+     *
+     * Pass the sweep's SweepPerf (runner.lastPerf()) to service
+     * --cell-perf; benches that cannot attribute per-cell perf leave
+     * it null and the flag reports itself unsupported.
      */
-    int finish(const SweepResult &sweep) const;
+    int finish(const SweepResult &sweep,
+               const SweepPerf *perf = nullptr) const;
+
+    /**
+     * Write @p perf's per-cell rows to @p path as CSV
+     * (label,wall_seconds,events_fired,events_per_sec).
+     * @return false when the file could not be written.
+     */
+    static bool writeCellPerfCsv(const std::string &path,
+                                 const SweepPerf &perf);
 };
 
 /** Print @p labels one per line (deduplicated, in order), exit 0. */

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "src/host/host_model.hh"
 
@@ -58,6 +60,40 @@ parallelFor(unsigned threads, std::size_t n, const Body &body)
             std::rethrow_exception(errors[i]);
 }
 
+/** Seconds elapsed since @p t0. */
+double
+sinceSeconds(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Attribution label of an offered-load cell. */
+std::string
+loadCellLabel(const LoadRunSpec &spec)
+{
+    const std::string workload = !spec.workload.empty()
+        ? spec.workload
+        : spec.workloadId ? workloadName(*spec.workloadId)
+        : spec.program    ? spec.program->name
+                          : std::string("load");
+    char rate[48];
+    std::snprintf(rate, sizeof rate, "@%gjobs/s", spec.jobsPerSec);
+    return workload + "/" + spec.technique + rate;
+}
+
+/** Attribution label of an aging cell. */
+std::string
+agingCellLabel(const AgingRunSpec &spec)
+{
+    char age[64];
+    std::snprintf(age, sizeof age, "+w%lu+d%g",
+                  static_cast<unsigned long>(spec.preWearCycles),
+                  spec.retentionDays);
+    return loadCellLabel(spec.load) + age;
+}
+
 } // namespace
 
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}
@@ -69,6 +105,7 @@ SweepRunner::lastPerf() const
     p.wallSeconds = perfWall_;
     p.cells = perfCells_;
     p.eventsFired = perfEvents_.load(std::memory_order_relaxed);
+    p.perCell = perfPerCell_;
     return p;
 }
 
@@ -78,12 +115,21 @@ SweepRunner::timedSweep(std::size_t cells, const Body &body)
 {
     perfCells_ = cells;
     perfEvents_.store(0, std::memory_order_relaxed);
+    perfPerCell_.assign(cells, {});
     const auto t0 = std::chrono::steady_clock::now();
     body();
-    perfWall_ =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t0)
-            .count();
+    perfWall_ = sinceSeconds(t0);
+}
+
+void
+SweepRunner::recordCell(std::size_t i, std::string label,
+                        double wallSeconds, std::uint64_t events)
+{
+    SweepPerf::CellPerf &cp = perfPerCell_[i];
+    cp.label = std::move(label);
+    cp.wallSeconds = wallSeconds;
+    cp.eventsFired = events;
+    perfEvents_.fetch_add(events, std::memory_order_relaxed);
 }
 
 unsigned
@@ -219,10 +265,12 @@ SweepRunner::runMultiAll(const std::vector<MultiRunSpec> &specs)
     timedSweep(specs.size(), [&] {
         parallelFor(workerCount(specs.size()), specs.size(),
                     [&](std::size_t i) {
+                        const auto c0 =
+                            std::chrono::steady_clock::now();
                         results[i] = runMulti(specs[i]);
-                        perfEvents_.fetch_add(
-                            results[i].eventsFired,
-                            std::memory_order_relaxed);
+                        recordCell(i, specs[i].label,
+                                   sinceSeconds(c0),
+                                   results[i].eventsFired);
                     });
     });
     return results;
@@ -301,10 +349,12 @@ SweepRunner::runAgingAll(const std::vector<AgingRunSpec> &specs)
     timedSweep(specs.size(), [&] {
         parallelFor(workerCount(specs.size()), specs.size(),
                     [&](std::size_t i) {
+                        const auto c0 =
+                            std::chrono::steady_clock::now();
                         results[i] = runAging(specs[i]);
-                        perfEvents_.fetch_add(
-                            results[i].eventsFired,
-                            std::memory_order_relaxed);
+                        recordCell(i, agingCellLabel(specs[i]),
+                                   sinceSeconds(c0),
+                                   results[i].eventsFired);
                     });
     });
     return results;
@@ -317,10 +367,12 @@ SweepRunner::runLoadAll(const std::vector<LoadRunSpec> &specs)
     timedSweep(specs.size(), [&] {
         parallelFor(workerCount(specs.size()), specs.size(),
                     [&](std::size_t i) {
+                        const auto c0 =
+                            std::chrono::steady_clock::now();
                         results[i] = runLoad(specs[i]);
-                        perfEvents_.fetch_add(
-                            results[i].eventsFired,
-                            std::memory_order_relaxed);
+                        recordCell(i, loadCellLabel(specs[i]),
+                                   sinceSeconds(c0),
+                                   results[i].eventsFired);
                     });
     });
     return results;
@@ -334,9 +386,11 @@ SweepRunner::run(std::vector<RunSpec> specs)
     const unsigned threads = workerCount(n);
     timedSweep(n, [&] {
         parallelFor(threads, n, [&](std::size_t i) {
+            const auto c0 = std::chrono::steady_clock::now();
             results[i] = runOne(specs[i]);
-            perfEvents_.fetch_add(results[i].eventsFired,
-                                  std::memory_order_relaxed);
+            recordCell(i,
+                       specs[i].workload + "/" + specs[i].technique,
+                       sinceSeconds(c0), results[i].eventsFired);
         });
     });
     return SweepResult(std::move(specs), std::move(results), perfWall_,

@@ -15,6 +15,8 @@
 #define CONDUIT_RUNNER_SWEEP_RUNNER_HH
 
 #include <atomic>
+#include <string>
+#include <vector>
 
 #include "src/core/device.hh"
 #include "src/runner/program_cache.hh"
@@ -40,9 +42,32 @@ struct SweepOptions
  */
 struct SweepPerf
 {
+    /**
+     * Per-cell attribution: how long one cell took on its worker
+     * and how many simulated events it fired, so a kernel
+     * regression localizes to a workload instead of hiding in the
+     * sweep total. Host-baseline cells report zero events.
+     */
+    struct CellPerf
+    {
+        std::string label;
+        double wallSeconds = 0.0;
+        std::uint64_t eventsFired = 0;
+
+        double
+        eventsPerSec() const
+        {
+            return wallSeconds > 0.0
+                ? static_cast<double>(eventsFired) / wallSeconds
+                : 0.0;
+        }
+    };
+
     double wallSeconds = 0.0;
     std::size_t cells = 0;
     std::uint64_t eventsFired = 0;
+    /** One entry per cell, in spec order. */
+    std::vector<CellPerf> perCell;
 
     double
     eventsPerSec() const
@@ -139,12 +164,20 @@ class SweepRunner
     template <typename Body>
     void timedSweep(std::size_t cells, const Body &body);
 
+    /**
+     * Record cell @p i's attribution (workers own disjoint slots,
+     * so no synchronization is needed beyond the pool join).
+     */
+    void recordCell(std::size_t i, std::string label,
+                    double wallSeconds, std::uint64_t events);
+
     SweepOptions opts_;
     ProgramCache cache_;
 
     double perfWall_ = 0.0;
     std::size_t perfCells_ = 0;
     std::atomic<std::uint64_t> perfEvents_{0};
+    std::vector<SweepPerf::CellPerf> perfPerCell_;
 };
 
 } // namespace conduit::runner

@@ -13,20 +13,41 @@
  *   slots. Firing or cancelling releases the slot for immediate
  *   reuse; an EventId encodes (slot, generation), so a stale handle
  *   can never cancel the slot's next occupant.
- * - The binary heap holds small POD entries (no callback), so sift
- *   operations move 32-byte records instead of std::function objects
- *   and schedule/fire perform no heap allocation (callbacks up to
- *   SmallFn::kInlineBytes, which covers every caller in-tree).
- * - cancel() is lazy: the heap entry stays behind and is discarded
- *   when it surfaces — but when cancelled entries outnumber half the
- *   heap, the heap is compacted in place, bounding memory growth
- *   under cancel-heavy open-loop workloads.
+ * - Ordering records are small POD entries (no callback) in a
+ *   two-tier calendar/ladder structure:
+ *
+ *     * The near-future tier is a bucketed calendar: a window of
+ *       fixed-width tick ranges, one append-only vector per bucket.
+ *       Scheduling into the window is an O(1) append; a bucket is
+ *       sorted by (tick, priority, seq) once, lazily, when the drain
+ *       front first reaches it, so a fan of N pre-populated events
+ *       costs one scatter pass plus small per-bucket sorts instead
+ *       of N O(log n) heap sifts over the full resident set.
+ *     * Events beyond the window land in an unsorted far-future
+ *       overflow tier (O(1) append, min/max tracked). When the
+ *       calendar drains, the overflow is re-anchored: a new window
+ *       is sized to the overflow's tick span and the entries are
+ *       scattered into it in one pass, ladder-style. Every entry
+ *       therefore moves at most twice (append, scatter) before the
+ *       one sort that orders it.
+ *
+ *   The window adapts: re-anchoring a lone entry doubles the bucket
+ *   width, so sparse self-scheduling chains settle into a window
+ *   wide enough that successors schedule straight into the active
+ *   bucket (an ordered insert into its undrained tail) and
+ *   re-anchoring stops.
+ * - cancel() is lazy: the entry stays behind and is discarded when
+ *   the drain front surfaces it — but when cancelled entries
+ *   outnumber half of all resident entries, every tier is compacted
+ *   in place, bounding memory growth under cancel-heavy open-loop
+ *   workloads.
  */
 
 #ifndef CONDUIT_SIM_EVENT_QUEUE_HH
 #define CONDUIT_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/sim/small_fn.hh"
@@ -48,6 +69,15 @@ class EventQueue
 {
   public:
     using Callback = SmallFn;
+
+    EventQueue();
+    /** Returns slab chunks and entry buffers to a thread-local pool
+     *  so the next queue on this thread skips the page-fault cost of
+     *  faulting in fresh memory (open-loop runs construct one queue
+     *  per cell). */
+    ~EventQueue();
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /**
      * Schedule @p cb to run at absolute time @p when.
@@ -98,19 +128,40 @@ class EventQueue
     /** Total events fired since construction. */
     std::uint64_t eventsFired() const { return fired_; }
 
-    /** @name Slab/heap introspection (memory-bound regression tests) @{ */
+    /** @name Slab/tier introspection (memory-bound regression tests) @{ */
     /** Slots ever allocated (bounds callback storage). */
-    std::size_t slabSlots() const { return slots_.size(); }
-    /** Heap entries, cancelled leftovers included. */
-    std::size_t heapEntries() const { return heap_.size(); }
+    std::size_t slabSlots() const { return slotCount_; }
+    /** Resident ordering entries, cancelled leftovers included. */
+    std::size_t heapEntries() const
+    {
+        return calEntries_ + overflow_.size();
+    }
     /** Cancelled entries still awaiting discard/compaction. */
     std::size_t cancelledEntries() const { return cancelled_; }
     /** @} */
 
+    /**
+     * Audit the pending() conservation invariant: recount live
+     * (generation-matching) entries across every tier and check the
+     * result against pending(), and the per-tier resident counts
+     * against heapEntries(). O(entries) — meant for tests and debug
+     * builds, not the hot path.
+     */
+    bool auditPendingConservation() const;
+
   private:
     static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
-    /** Compaction only kicks in past this size (tiny heaps are cheap). */
+    /** Compaction only kicks in past this size (tiny sets are cheap). */
     static constexpr std::size_t kCompactMinEntries = 64;
+    /** Calendar windows use between kMinBuckets and kMaxBuckets. */
+    static constexpr std::size_t kMinBuckets = 64;
+    static constexpr std::size_t kMaxBuckets = 512;
+    /** Drained-prefix trim threshold for the active bucket. */
+    static constexpr std::size_t kTrimMinDrained = 64;
+    /** Slab chunk: 512 slots x 64 bytes — slots never relocate. */
+    static constexpr std::size_t kChunkShift = 9;
+    static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+    static constexpr std::size_t kChunkMask = kChunkSize - 1;
 
     /** Slab slot: callback storage + the liveness generation. */
     struct Slot
@@ -120,7 +171,7 @@ class EventQueue
         std::uint32_t nextFree = kNoSlot;
     };
 
-    /** Heap entry: POD ordering record referencing a slab slot. */
+    /** Ordering entry: POD record referencing a slab slot. */
     struct Entry
     {
         Tick when;
@@ -130,35 +181,100 @@ class EventQueue
         int priority;
     };
 
-    struct Later
+    /** Strict (tick, priority, seq) fire order. */
+    static bool
+    earlier(const Entry &a, const Entry &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.seq < b.seq;
+    }
 
-    std::uint32_t acquireSlot(Callback cb);
+    /** Thread-local recycling pool shared by queues on one thread. */
+    struct Recycler
+    {
+        std::vector<std::unique_ptr<Slot[]>> chunks;
+        std::vector<std::vector<Entry>> vecs;
+    };
+    static Recycler &recycler();
+    /** Pop a pooled entry buffer (empty, capacity retained). */
+    static std::vector<Entry> takePooledVec();
+
+    Slot &
+    slotAt(std::uint32_t slot)
+    {
+        return chunks_[slot >> kChunkShift][slot & kChunkMask];
+    }
+    const Slot &
+    slotAt(std::uint32_t slot) const
+    {
+        return chunks_[slot >> kChunkShift][slot & kChunkMask];
+    }
+    std::uint32_t acquireSlot(Callback &&cb);
     void releaseSlot(std::uint32_t slot);
     bool liveEntry(const Entry &e) const
     {
-        return slots_[e.slot].gen == e.gen;
+        return slotAt(e.slot).gen == e.gen;
     }
-    /** Drop cancelled entries in place and re-heapify. */
-    void compact();
-    /** Pop dead entries off the top; true if a live top remains. */
-    bool skimCancelled();
 
-    std::vector<Entry> heap_; // binary min-heap via Later
-    std::vector<Slot> slots_;
+    /** True while @p when can be filed into the current window. */
+    bool
+    inWindow(Tick when) const
+    {
+        return curBucket_ < bucketCount_ &&
+            (openEnded_ || when < winEnd_);
+    }
+    /** Bucket holding @p when (clamped into the window). */
+    std::size_t bucketIndex(Tick when) const;
+    /** File @p e into the calendar (window membership pre-checked). */
+    void insertCalendar(const Entry &e);
+    /** Sort a bucket into (when, priority, seq) fire order. */
+    void sortBucket(std::vector<Entry> &vec);
+    /** Size a fresh window to the overflow span and scatter it. */
+    void reAnchor();
+    /**
+     * Advance the drain front to the earliest live entry: re-anchor
+     * drained windows, lazily sort newly reached buckets, and skim
+     * cancelled entries. False when no live events remain.
+     */
+    bool advanceToLive();
+    /** Pop the entry at the drain front and invoke its callback. */
+    void fireFront();
+    /** Drop cancelled entries (and drained prefixes) in every tier. */
+    void compactAll();
+
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
+    std::size_t slotCount_ = 0;
     std::uint32_t freeHead_ = kNoSlot;
+
+    /** @name Near-future calendar tier @{ */
+    std::vector<std::vector<Entry>> buckets_;
+    std::size_t bucketCount_ = 0; // active buckets; 0 = no window yet
+    Tick winStart_ = 0;
+    Tick winEnd_ = 0;
+    Tick lastWidth_ = 1;     // adaptive width memory across windows
+    unsigned widthShift_ = 0; // widths are powers of two: index by shift
+    bool openEnded_ = false; // window reaches kMaxTick
+    std::size_t curBucket_ = 0;
+    std::size_t drainPos_ = 0; // drained prefix of the active bucket
+    bool curSorted_ = false;
+    std::size_t calEntries_ = 0; // resident entries, drained excluded
+    /** @} */
+
+    /** @name Far-future overflow tier @{ */
+    std::vector<Entry> overflow_; // unsorted, beyond the window
+    Tick ovMin_ = kMaxTick;
+    Tick ovMax_ = 0;
+    /** @} */
+
+    /** Reused scratch for sortBucket's counting passes. */
+    std::vector<Entry> sortScratch_;
+    std::vector<std::uint32_t> sortCounts_;
+
     std::size_t live_ = 0;      // scheduled, not yet fired/cancelled
-    std::size_t cancelled_ = 0; // dead entries still in heap_
+    std::size_t cancelled_ = 0; // dead entries still resident
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t fired_ = 0;

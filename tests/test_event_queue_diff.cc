@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Differential test: the calendar/ladder EventQueue against the
+ * pre-calendar binary-heap kernel, kept here verbatim as
+ * ReferenceEventQueue. Randomized workloads — schedule, cancel,
+ * reschedule, same-tick self-scheduling, cancel-heavy open-loop
+ * windows — must produce identical (tick, priority, seq) fire
+ * orders, identical cancel() results, and identical pending()
+ * trajectories, and the calendar queue must hold its pending()
+ * conservation invariant throughout.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/event_queue.hh"
+#include "src/sim/types.hh"
+
+namespace conduit
+{
+namespace
+{
+
+/**
+ * The binary-heap event kernel this PR replaced, preserved as the
+ * ordering oracle. Same contract: (tick, priority, seq) fire order,
+ * generation-stamped ids, lazy cancellation with compaction.
+ */
+class ReferenceEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventId
+    schedule(Tick when, Callback cb, int priority = 0)
+    {
+        if (when < now_)
+            throw std::logic_error(
+                "ReferenceEventQueue: scheduling event in the past");
+        const std::uint32_t slot = acquireSlot(std::move(cb));
+        const std::uint32_t gen = slots_[slot].gen;
+        heap_.push_back(Entry{when, nextSeq_++, slot, gen, priority});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+        ++live_;
+        return (static_cast<EventId>(gen) << 32) | slot;
+    }
+
+    EventId
+    scheduleAfter(Tick delay, Callback cb, int priority = 0)
+    {
+        return schedule(now_ + delay, std::move(cb), priority);
+    }
+
+    bool
+    cancel(EventId id)
+    {
+        const auto slot = static_cast<std::uint32_t>(id);
+        const auto gen = static_cast<std::uint32_t>(id >> 32);
+        if (slot >= slots_.size() || slots_[slot].gen != gen)
+            return false;
+        releaseSlot(slot);
+        --live_;
+        ++cancelled_;
+        if (cancelled_ * 2 > heap_.size() && heap_.size() >= 64)
+            compact();
+        return true;
+    }
+
+    bool
+    runOne()
+    {
+        if (!skimCancelled())
+            return false;
+        const Entry e = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        heap_.pop_back();
+        Callback cb = std::move(slots_[e.slot].cb);
+        releaseSlot(e.slot);
+        --live_;
+        now_ = e.when;
+        ++fired_;
+        if (cb)
+            cb();
+        return true;
+    }
+
+    std::uint64_t
+    run(Tick until = kMaxTick)
+    {
+        std::uint64_t n = 0;
+        while (skimCancelled()) {
+            if (heap_.front().when > until)
+                break;
+            if (runOne())
+                ++n;
+        }
+        return n;
+    }
+
+    Tick now() const { return now_; }
+    std::size_t pending() const { return live_; }
+    bool empty() const { return live_ == 0; }
+    std::uint64_t eventsFired() const { return fired_; }
+
+  private:
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t gen = 1;
+        std::uint32_t nextFree = ~std::uint32_t{0};
+    };
+
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t gen;
+        int priority;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::uint32_t
+    acquireSlot(Callback cb)
+    {
+        if (freeHead_ != ~std::uint32_t{0}) {
+            const std::uint32_t slot = freeHead_;
+            freeHead_ = slots_[slot].nextFree;
+            slots_[slot].cb = std::move(cb);
+            return slot;
+        }
+        slots_.push_back(Slot{std::move(cb), 1, ~std::uint32_t{0}});
+        return static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+
+    void
+    releaseSlot(std::uint32_t slot)
+    {
+        Slot &s = slots_[slot];
+        s.cb = nullptr;
+        ++s.gen;
+        s.nextFree = freeHead_;
+        freeHead_ = slot;
+    }
+
+    bool
+    liveEntry(const Entry &e) const
+    {
+        return slots_[e.slot].gen == e.gen;
+    }
+
+    void
+    compact()
+    {
+        heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                                   [this](const Entry &e) {
+                                       return !liveEntry(e);
+                                   }),
+                    heap_.end());
+        std::make_heap(heap_.begin(), heap_.end(), Later{});
+        cancelled_ = 0;
+    }
+
+    bool
+    skimCancelled()
+    {
+        while (!heap_.empty() && !liveEntry(heap_.front())) {
+            std::pop_heap(heap_.begin(), heap_.end(), Later{});
+            heap_.pop_back();
+            --cancelled_;
+        }
+        return !heap_.empty();
+    }
+
+    std::vector<Slot> slots_;
+    std::uint32_t freeHead_ = ~std::uint32_t{0};
+    std::vector<Entry> heap_;
+    std::size_t live_ = 0;
+    std::size_t cancelled_ = 0;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t fired_ = 0;
+};
+
+/** xorshift64* — deterministic workload generator. */
+struct Rng
+{
+    std::uint64_t s;
+    explicit Rng(std::uint64_t seed) : s(seed * 2685821657736338717ull | 1) {}
+    std::uint64_t
+    next()
+    {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        return s * 2685821657736338717ull;
+    }
+    std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+/** Check the conservation invariant — only the calendar queue has
+ *  the audit; the reference is the oracle, not the subject. */
+void audit(EventQueue &q) { ASSERT_TRUE(q.auditPendingConservation()); }
+void audit(ReferenceEventQueue &) {}
+
+/**
+ * One deterministic workload applied to either kernel. Everything a
+ * callback does is derived from its label, so as long as fire order
+ * matches, both runs make identical decisions. Returns the full
+ * observable trace: fire log, cancel results, pending trajectory.
+ */
+template <typename Q>
+std::vector<std::uint64_t>
+runWorkload(std::uint64_t seed, std::size_t ops, bool cancelHeavy,
+            bool sameTickHeavy)
+{
+    Q q;
+    Rng rng(seed);
+    std::vector<std::uint64_t> trace;
+    std::vector<std::pair<std::uint64_t, EventId>> outstanding;
+    std::uint64_t nextLabel = 1;
+
+    // Fired callbacks append to the trace and may self-schedule
+    // children (possibly same-tick) whose shape depends only on the
+    // parent label.
+    std::function<void(std::uint64_t)> onFire = [&](std::uint64_t label) {
+        trace.push_back(label);
+        trace.push_back(q.now());
+        if (label % 5 == 0) { // spawner: 1-2 children
+            const int kids = 1 + static_cast<int>(label % 2);
+            for (int c = 0; c < kids; ++c) {
+                const Tick delta = sameTickHeavy
+                    ? (label + c) % 2       // mostly same-tick
+                    : (label * 31 + c) % 977;
+                const int prio =
+                    static_cast<int>((label + c) % 5) - 2;
+                const std::uint64_t kid = nextLabel++;
+                const EventId id = q.scheduleAfter(
+                    delta, [&onFire, kid] { onFire(kid); }, prio);
+                if (kid % 7 == 0)
+                    outstanding.emplace_back(kid, id);
+            }
+        }
+        if (label % 11 == 0 && !outstanding.empty()) {
+            // cancel from inside a callback
+            const auto [l, id] =
+                outstanding[label % outstanding.size()];
+            trace.push_back(q.cancel(id) ? 1 : 0);
+        }
+    };
+
+    for (std::size_t op = 0; op < ops; ++op) {
+        const std::uint64_t roll = rng.below(100);
+        const std::uint64_t cancelCut = cancelHeavy ? 45 : 15;
+        if (roll < 50) {
+            const Tick delta = sameTickHeavy && roll < 25
+                ? 0
+                : rng.below(1 << (1 + rng.below(14)));
+            const int prio = static_cast<int>(rng.below(5)) - 2;
+            const std::uint64_t label = nextLabel++;
+            const EventId id = q.schedule(
+                q.now() + delta, [&onFire, label] { onFire(label); },
+                prio);
+            outstanding.emplace_back(label, id);
+        } else if (roll < 50 + cancelCut) {
+            if (!outstanding.empty()) {
+                const std::size_t pick =
+                    rng.below(outstanding.size());
+                trace.push_back(
+                    q.cancel(outstanding[pick].second) ? 1 : 0);
+                outstanding.erase(outstanding.begin() +
+                                  static_cast<std::ptrdiff_t>(pick));
+            }
+        } else if (roll < 90) {
+            const std::uint64_t burst = 1 + rng.below(8);
+            for (std::uint64_t i = 0; i < burst; ++i)
+                if (!q.runOne())
+                    break;
+            trace.push_back(q.now());
+        } else {
+            trace.push_back(q.run(q.now() + rng.below(4096)));
+        }
+        trace.push_back(q.pending());
+        if (op % 64 == 0)
+            audit(q);
+    }
+    trace.push_back(q.run());
+    trace.push_back(q.now());
+    trace.push_back(q.eventsFired());
+    EXPECT_TRUE(q.empty());
+    audit(q);
+    return trace;
+}
+
+TEST(EventQueueDifferential, RandomizedMatchesReference)
+{
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        const auto cal = runWorkload<EventQueue>(seed, 1500, false, false);
+        const auto ref =
+            runWorkload<ReferenceEventQueue>(seed, 1500, false, false);
+        ASSERT_EQ(cal, ref) << "seed " << seed;
+    }
+}
+
+TEST(EventQueueDifferential, SameTickSelfSchedulingMatches)
+{
+    for (std::uint64_t seed = 100; seed <= 108; ++seed) {
+        const auto cal = runWorkload<EventQueue>(seed, 1200, false, true);
+        const auto ref =
+            runWorkload<ReferenceEventQueue>(seed, 1200, false, true);
+        ASSERT_EQ(cal, ref) << "seed " << seed;
+    }
+}
+
+TEST(EventQueueDifferential, CancelHeavyOpenLoopMatches)
+{
+    for (std::uint64_t seed = 200; seed <= 208; ++seed) {
+        const auto cal = runWorkload<EventQueue>(seed, 1500, true, false);
+        const auto ref =
+            runWorkload<ReferenceEventQueue>(seed, 1500, true, false);
+        ASSERT_EQ(cal, ref) << "seed " << seed;
+    }
+}
+
+/** The exact open-loop Device shape: pre-populated arrivals, rolling
+ *  timeout window, drained with interleaved cancels. */
+TEST(EventQueueDifferential, PrePopulatedArrivalWindowMatches)
+{
+    const auto drive = [](auto &q) {
+        std::vector<std::uint64_t> trace;
+        std::deque<EventId> window;
+        std::uint64_t fired = 0;
+        for (std::uint64_t i = 0; i < 30'000; ++i) {
+            window.push_back(q.schedule(
+                (i * 7919) % 30'000, [&fired] { ++fired; },
+                static_cast<int>(i & 3)));
+            if (window.size() > 256) {
+                trace.push_back(q.cancel(window.front()) ? 1 : 0);
+                window.pop_front();
+            }
+        }
+        trace.push_back(q.run());
+        trace.push_back(fired);
+        trace.push_back(q.now());
+        return trace;
+    };
+    EventQueue cal;
+    ReferenceEventQueue ref;
+    const auto a = drive(cal);
+    const auto b = drive(ref);
+    EXPECT_TRUE(cal.auditPendingConservation());
+    ASSERT_EQ(a, b);
+}
+
+/** Re-running a seed must reproduce the identical trace (the bench
+ *  digests rely on the kernel being repeat-invariant). */
+TEST(EventQueueDifferential, RepeatInvariant)
+{
+    const auto a = runWorkload<EventQueue>(42, 1500, true, true);
+    const auto b = runWorkload<EventQueue>(42, 1500, true, true);
+    ASSERT_EQ(a, b);
+}
+
+} // namespace
+} // namespace conduit

@@ -176,6 +176,40 @@ TEST(EventQueue, EmptyCallbackIsCancellableAndFiresAsNoOp)
     EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, PendingConservationHoldsAcrossTierTransitions)
+{
+    // pending() must equal the recount of generation-matching
+    // entries across the calendar and overflow tiers at every point
+    // of a workload that forces tier transitions: near-future
+    // appends, far-future overflow, re-anchoring, lazy sorts,
+    // cancellation, and compaction.
+    EventQueue q;
+    ASSERT_TRUE(q.auditPendingConservation()); // empty queue
+    std::deque<EventId> window;
+    std::uint64_t fired = 0;
+    for (std::uint64_t i = 0; i < 3'000; ++i) {
+        // Spread: same-tick, near-future, and far-future entries.
+        const Tick when = (i % 3 == 0) ? q.now()
+            : (i % 3 == 1)             ? q.now() + (i * 7919) % 4096
+                                       : q.now() + 1'000'000 + i;
+        window.push_back(
+            q.schedule(when, [&fired] { ++fired; },
+                       static_cast<int>(i & 3)));
+        if (window.size() > 64) {
+            q.cancel(window.front());
+            window.pop_front();
+        }
+        if (i % 7 == 0)
+            q.runOne();
+        if (i % 256 == 0)
+            ASSERT_TRUE(q.auditPendingConservation()) << "i=" << i;
+    }
+    ASSERT_TRUE(q.auditPendingConservation());
+    q.run();
+    EXPECT_TRUE(q.empty());
+    ASSERT_TRUE(q.auditPendingConservation()); // drained queue
+}
+
 TEST(FlatLru, RecencyOrderAndEviction)
 {
     FlatLru lru;

@@ -20,6 +20,22 @@
  * every cell through the persistent-device job API instead of the
  * direct batch engine run — output is byte-identical by the Device
  * equivalence contract, and CI diffs the two paths.
+ *
+ * --age CYCLES runs the matrix on an aged device instead of a
+ * factory-fresh one: a single pre-worn DeviceImage (reliability
+ * subsystem enabled, fast-forwarded to the age, warmed with
+ * --warmup-jobs jobs of traffic) is built once and forked for every
+ * cell, so all cells share byte-identical initial wear, mappings and
+ * staging state. On the aged device the ECC retry ladder stretches
+ * every flash read, so a background tenant's die occupancy delays
+ * the primary for whole retry ladders at a time — cross-tenant
+ * interference tails amplify well beyond the fresh-device slowdown.
+ *   --age CYCLES         P/E cycles pre-absorbed (0 = fresh matrix)
+ *   --retention-days D   resident-data age (default: age * 30/1000,
+ *                        the deployment-time coupling
+ *                        bench_reliability uses)
+ *   --warmup-jobs N      warm jobs baked into the pre-worn image
+ *                        (default 4)
  */
 
 #include <chrono>
@@ -31,6 +47,7 @@ namespace
 
 using namespace conduit;
 using namespace conduit::bench;
+using conduit::runner::LoadRunSpec;
 using conduit::runner::MultiRunSpec;
 using conduit::runner::StreamSlot;
 using conduit::runner::splitCsv;
@@ -45,6 +62,49 @@ slotFor(WorkloadId id, const std::string &policy)
     return s;
 }
 
+/**
+ * One aged-matrix cell: fork the shared pre-worn image and co-run
+ * the cell's streams as simultaneous jobs on the forked device. The
+ * image is read-only (forking deep-copies), so every cell starts
+ * from byte-identical wear/mapping/staging state and cells stay
+ * order-independent and deterministic.
+ */
+sched::MultiRunResult
+runAgedCell(const DeviceImage &img, const MultiRunSpec &cell,
+            SweepRunner &runner)
+{
+    Device dev = Device::fromImage(img);
+    const std::size_t warm = img.jobs.size();
+    const Tick at = dev.now();
+    for (const StreamSlot &slot : cell.streams) {
+        auto vp = runner.cache().get(*slot.workloadId, cell.params,
+                                     cell.config);
+        JobSpec job;
+        job.name = slot.workload;
+        job.program =
+            std::shared_ptr<const Program>(vp, &vp->program);
+        job.policyObj =
+            std::shared_ptr<OffloadPolicy>(makePolicy(slot.technique));
+        job.arrival = at;
+        dev.submit(job);
+    }
+    const DeviceSnapshot snap = dev.drain();
+
+    sched::MultiRunResult mr;
+    mr.eventsFired = snap.eventsFired;
+    Tick maxEnd = at;
+    for (std::size_t i = warm; i < snap.jobs.size(); ++i) {
+        const JobResult &jr = snap.jobs[i];
+        RunResult r = jr.result;
+        r.workload = cell.streams[i - warm].workload;
+        r.policy = cell.streams[i - warm].technique;
+        mr.streams.push_back(std::move(r));
+        maxEnd = std::max(maxEnd, jr.end);
+    }
+    mr.makespan = maxEnd - at;
+    return mr;
+}
+
 } // namespace
 
 int
@@ -54,15 +114,32 @@ main(int argc, char **argv)
     using namespace conduit::bench;
 
     bool viaDevice = false;
+    std::uint32_t age = 0;
+    double retentionDays = -1.0; // < 0: derive from the age
+    std::size_t warmupJobs = 4;
     const auto extra = [&](const std::string &flag,
-                           const std::function<std::string()> &) {
-        if (flag != "--via-device")
+                           const std::function<std::string()> &value) {
+        if (flag == "--via-device") {
+            viaDevice = true;
+        } else if (flag == "--age") {
+            age = static_cast<std::uint32_t>(
+                parseCount("--age", value(), /*allow_zero=*/true));
+        } else if (flag == "--retention-days") {
+            retentionDays = parsePositive("--retention-days", value(),
+                                          /*allow_zero=*/true);
+        } else if (flag == "--warmup-jobs") {
+            warmupJobs = parseCount("--warmup-jobs", value());
+        } else {
             return false;
-        viaDevice = true;
+        }
         return true;
     };
-    const SweepCli cli =
-        SweepCli::parse(argc, argv, extra, "          [--via-device]\n");
+    const SweepCli cli = SweepCli::parse(
+        argc, argv, extra,
+        "          [--via-device] [--age CYCLES]\n"
+        "          [--retention-days D] [--warmup-jobs N]\n");
+    if (retentionDays < 0.0)
+        retentionDays = static_cast<double>(age) * 30.0 / 1000.0;
 
     std::vector<std::string> names;
     for (WorkloadId id : allWorkloads())
@@ -111,6 +188,15 @@ main(int argc, char **argv)
     WorkloadParams params;
     params.scale = cli.scale;
 
+    // Aged mode: every cell forks one pre-worn device image, so all
+    // cells share the aged (reliability-enabled) configuration.
+    SsdConfig config = runner::defaultSweepConfig();
+    if (age > 0) {
+        config.reliability.enabled = true;
+        config.reliability.preWearCycles = age;
+        config.reliability.retentionDays = retentionDays;
+    }
+
     // Cells: one isolated run per tenant, then every ordered pair
     // (primary, background) co-located. Cell order is the report
     // order; runMultiAll keeps results in spec order regardless of
@@ -119,6 +205,7 @@ main(int argc, char **argv)
     for (WorkloadId p : tenants) {
         MultiRunSpec iso;
         iso.label = workloadName(p);
+        iso.config = config;
         iso.params = params;
         iso.streams = {slotFor(p, policy)};
         iso.viaDevice = viaDevice;
@@ -128,6 +215,7 @@ main(int argc, char **argv)
         for (WorkloadId b : tenants) {
             MultiRunSpec co;
             co.label = workloadName(p) + "+" + workloadName(b);
+            co.config = config;
             co.params = params;
             co.streams = {slotFor(p, policy), slotFor(b, policy)};
             co.viaDevice = viaDevice;
@@ -137,16 +225,47 @@ main(int argc, char **argv)
 
     const auto t0 = std::chrono::steady_clock::now();
     SweepRunner runner(cli.runnerOptions());
-    const std::vector<sched::MultiRunResult> results =
-        runner.runMultiAll(cells);
+    std::vector<sched::MultiRunResult> results;
+    if (age > 0) {
+        // Build the shared pre-worn image once: the aged config
+        // warmed with jobs of the first tenant, its page pool sized
+        // for the largest co-location pair so both streams admit
+        // simultaneously like the fresh matrix does. Cells then run
+        // via the device job API (forking is a Device operation).
+        LoadRunSpec warm;
+        warm.workload = workloadName(tenants.front());
+        warm.workloadId = tenants.front();
+        warm.config = config;
+        warm.params = params;
+        warm.warmupJobs = warmupJobs;
+        std::uint64_t maxFp = 0;
+        for (WorkloadId id : tenants) {
+            auto vp = runner.cache().get(id, params, config);
+            maxFp = std::max(maxFp, vp->program.footprintPages);
+        }
+        warm.capacityPages = 2 * maxFp;
+        const DeviceImage img = runner.buildWarmImage(warm);
+        results.reserve(cells.size());
+        for (const MultiRunSpec &cell : cells)
+            results.push_back(runAgedCell(img, cell, runner));
+    } else {
+        results = runner.runMultiAll(cells);
+    }
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
 
     const std::size_t n = tenants.size();
-    std::printf("Multi-tenant co-location on one SSD (policy: %s)\n\n",
-                policy.c_str());
+    if (age > 0)
+        std::printf("Multi-tenant co-location on one aged SSD "
+                    "(policy: %s, %u P/E cycles, %.4g retention days, "
+                    "%zu warm jobs)\n\n",
+                    policy.c_str(), age, retentionDays, warmupJobs);
+    else
+        std::printf("Multi-tenant co-location on one SSD "
+                    "(policy: %s)\n\n",
+                    policy.c_str());
 
     // Per-stream rows for the machine-readable emission layer: the
     // primary stream of every cell, labelled by its company.

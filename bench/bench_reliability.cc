@@ -33,6 +33,13 @@
  *                          the tails)
  *   --arrivals KIND        fixed | uniform | poisson (default)
  *   --arrival-seed N       arrival-schedule seed (default 1)
+ *   --warmup-jobs N        warm jobs before the measured phase (rows
+ *                          then report the measured jobs only)
+ *   --steady-state         build each age rung's warm device once
+ *                          and fork it per policy (DeviceImage
+ *                          snapshots) instead of replaying the warm
+ *                          phase per cell; outputs byte-identical,
+ *                          only wall-clock changes (on stderr)
  */
 
 #include <algorithm>
@@ -84,10 +91,17 @@ main(int argc, char **argv)
     double rateMult = 2.0;
     ArrivalKind arrivals = ArrivalKind::Poisson;
     std::uint64_t arrivalSeed = 1;
+    std::size_t warmupJobs = 0;
+    bool steadyState = false;
     const auto extra = [&](const std::string &flag,
                            const std::function<std::string()> &value) {
         if (flag == "--jobs") {
             jobs = parseCount("--jobs", value());
+        } else if (flag == "--warmup-jobs") {
+            warmupJobs =
+                parseCount("--warmup-jobs", value(), /*allow_zero=*/true);
+        } else if (flag == "--steady-state") {
+            steadyState = true;
         } else if (flag == "--ages") {
             ages = parseAges(value());
             if (ages.empty())
@@ -121,7 +135,13 @@ main(int argc, char **argv)
         extra,
         "          [--jobs N] [--ages a,b,c]\n"
         "          [--retention-per-kcycle D] [--rate-mult M]\n"
-        "          [--arrivals KIND] [--arrival-seed N]\n");
+        "          [--arrivals KIND] [--arrival-seed N]\n"
+        "          [--warmup-jobs N] [--steady-state]\n");
+    if (steadyState && warmupJobs == 0) {
+        std::fprintf(stderr,
+                     "--steady-state needs --warmup-jobs N (> 0)\n");
+        return 2;
+    }
 
     std::vector<std::string> names;
     for (WorkloadId id : allWorkloads())
@@ -194,6 +214,8 @@ main(int argc, char **argv)
                 cell.load.jobsPerSec = rate;
                 cell.load.arrivals = arrivals;
                 cell.load.arrivalSeed = arrivalSeed;
+                cell.load.warmupJobs = warmupJobs;
+                cell.load.steadyState = steadyState;
                 cell.preWearCycles = age;
                 cell.retentionDays = static_cast<double>(age) *
                     retentionPerKcycle / 1000.0;
@@ -203,6 +225,17 @@ main(int argc, char **argv)
     }
 
     const std::vector<DeviceSnapshot> snaps = runner.runAgingAll(cells);
+
+    // Warm-phase cost is wall-clock (nondeterministic), so it goes
+    // to stderr: stdout stays byte-identical between cold two-phase
+    // and forked steady-state sweeps.
+    const runner::SweepPerf perf = runner.lastPerf();
+    if (perf.warmupImages > 0)
+        std::fprintf(stderr,
+                     "warmup: %zu image(s) built once in %.3f s, "
+                     "forked across %zu cells\n",
+                     perf.warmupImages, perf.warmupSeconds,
+                     perf.cells);
 
     std::vector<runner::AgingRow> rows;
     rows.reserve(cells.size());

@@ -27,6 +27,13 @@
  *   --arrivals KIND     fixed | uniform | poisson (default)
  *   --arrival-seed N    arrival-schedule seed (default 1; the same
  *                       schedule is replayed for every policy)
+ *   --warmup-jobs N     warm jobs before the measured phase (rows
+ *                       then report the measured jobs only)
+ *   --steady-state      build each rate rung's warm device once and
+ *                       fork it per policy (DeviceImage snapshots)
+ *                       instead of replaying the warm phase per
+ *                       cell; outputs are byte-identical, only
+ *                       wall-clock changes (reported on stderr)
  */
 
 #include <algorithm>
@@ -68,10 +75,17 @@ main(int argc, char **argv)
     std::vector<double> rates;
     ArrivalKind arrivals = ArrivalKind::Poisson;
     std::uint64_t arrivalSeed = 1;
+    std::size_t warmupJobs = 0;
+    bool steadyState = false;
     const auto extra = [&](const std::string &flag,
                            const std::function<std::string()> &value) {
         if (flag == "--jobs") {
             jobs = parseCount("--jobs", value());
+        } else if (flag == "--warmup-jobs") {
+            warmupJobs =
+                parseCount("--warmup-jobs", value(), /*allow_zero=*/true);
+        } else if (flag == "--steady-state") {
+            steadyState = true;
         } else if (flag == "--rates") {
             rates = parseRates(value());
         } else if (flag == "--arrivals") {
@@ -94,7 +108,13 @@ main(int argc, char **argv)
     const SweepCli cli = SweepCli::parse(
         argc, argv, extra,
         "          [--jobs N] [--rates a,b] [--arrivals KIND]\n"
-        "          [--arrival-seed N]\n");
+        "          [--arrival-seed N] [--warmup-jobs N]\n"
+        "          [--steady-state]\n");
+    if (steadyState && warmupJobs == 0) {
+        std::fprintf(stderr,
+                     "--steady-state needs --warmup-jobs N (> 0)\n");
+        return 2;
+    }
 
     std::vector<std::string> names;
     for (WorkloadId id : allWorkloads())
@@ -176,6 +196,8 @@ main(int argc, char **argv)
                 cell.jobsPerSec = rate;
                 cell.arrivals = arrivals;
                 cell.arrivalSeed = arrivalSeed;
+                cell.warmupJobs = warmupJobs;
+                cell.steadyState = steadyState;
                 cells.push_back(std::move(cell));
             }
         }
@@ -183,6 +205,17 @@ main(int argc, char **argv)
     }
 
     const std::vector<DeviceSnapshot> snaps = runner.runLoadAll(cells);
+
+    // Warm-phase cost is wall-clock (nondeterministic), so it goes
+    // to stderr: stdout stays byte-identical between cold two-phase
+    // and forked steady-state sweeps.
+    const runner::SweepPerf perf = runner.lastPerf();
+    if (perf.warmupImages > 0)
+        std::fprintf(stderr,
+                     "warmup: %zu image(s) built once in %.3f s, "
+                     "forked across %zu cells\n",
+                     perf.warmupImages, perf.warmupSeconds,
+                     perf.cells);
 
     std::vector<runner::LoadRow> rows;
     rows.reserve(cells.size());

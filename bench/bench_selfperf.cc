@@ -17,17 +17,22 @@
  *    fan_wide variant with a 10x resident set), an open-loop
  *    pre-populated-arrivals shape (every arrival fires a short chain
  *    and arms-then-cancels a timeout — the exact shape of an
- *    open-loop Device run), and a cancel-heavy rolling window.
- *    Reported as events (or schedule+cancel pairs) per second of
- *    wall time.
+ *    open-loop Device run), a cancel-heavy rolling window, and a
+ *    DeviceImage snapshot-fork round trip (the per-cell fixed cost
+ *    of steady-state sweeps). Reported as events (or forks, or
+ *    schedule+cancel pairs) per second of wall time.
  *
- * 2. Three representative end-to-end scenarios, timed around the
+ * 2. Representative end-to-end scenarios, timed around the
  *    SweepRunner entry points (SweepPerf hooks):
  *      - fig07a-reduced: the CI smoke matrix (AES + jacobi-1d under
  *        CPU / Conduit / DM-Offloading / Ideal),
  *      - multi-tenant-8: eight tenant streams co-run on one SSD,
  *      - open-loop-saturation: one saturation cell past the knee
- *        (pseudo-Poisson arrivals at 2x the calibrated base rate).
+ *        (pseudo-Poisson arrivals at 2x the calibrated base rate),
+ *      - aging-cold / aging-fork: the same 4-age x 3-policy warmed
+ *        aging sweep, warm phase replayed per cell vs forked from
+ *        per-age DeviceImages — simulated digests byte-identical,
+ *        the wall ratio is the steady-state speedup.
  *    Microbenches and scenarios run --repeat times (default 3);
  *    wall-clock minimum and mean are recorded, events/sec uses the
  *    minimum, so the numbers reflect the warmed steady state a sweep
@@ -56,6 +61,7 @@ namespace
 
 using namespace conduit;
 using namespace conduit::bench;
+using conduit::runner::AgingRunSpec;
 using conduit::runner::LoadRunSpec;
 using conduit::runner::MultiRunSpec;
 using conduit::runner::SweepPerf;
@@ -161,6 +167,35 @@ microCancel(std::uint64_t pairs)
     }
     q.run();
     return {pairs, seconds(t0)};
+}
+
+/**
+ * Snapshot/fork round-trip: a warm DeviceImage is built once, then
+ * repeatedly forked into a live Device. Each fork is the fixed cost
+ * a steady-state sweep pays per cell instead of replaying the warm
+ * phase, so forks/sec bounds how cheaply warm state can be shared.
+ */
+MicroResult
+microSnapshotFork(SweepRunner &runner, double scale,
+                  std::uint64_t forks)
+{
+    LoadRunSpec warm;
+    warm.workloadId = WorkloadId::Aes;
+    warm.workload = workloadName(WorkloadId::Aes);
+    warm.technique = "Conduit";
+    warm.params.scale = scale;
+    warm.jobs = 0;
+    warm.warmupJobs = 4;
+    warm.jobsPerSec = 1000.0;
+    const DeviceImage img = runner.buildWarmImage(warm);
+    const auto t0 = std::chrono::steady_clock::now();
+    Tick sink = 0; // defeat dead-fork elimination
+    for (std::uint64_t i = 0; i < forks; ++i) {
+        Device dev = Device::fromImage(img);
+        sink ^= dev.now();
+    }
+    (void)sink;
+    return {forks, seconds(t0)};
 }
 
 /** One timed scenario: simulated digest + wall-clock statistics. */
@@ -312,6 +347,76 @@ scenarioOpenLoopSaturation(SweepRunner &runner, const SweepCli &cli,
     return r;
 }
 
+/**
+ * Device-aging sweep, cold two-phase vs forked steady-state: the
+ * same 4-age x 3-policy matrix with a 12-job warm phase and a 2-job
+ * measured phase per cell. aging-cold replays the warm phase inside
+ * every cell; aging-fork builds one warm image per age rung and
+ * forks it across the policies. Simulated digests are byte-identical
+ * between the two scenarios — only the wall-clock (warm-image build
+ * included for the fork mode) differs, and the cold/fork wall ratio
+ * is the headline speedup of steady-state sweeps.
+ */
+ScenarioResult
+scenarioAging(SweepRunner &runner, const SweepCli &cli, int repeat,
+              bool fork)
+{
+    ScenarioResult r;
+    r.name = fork ? "aging-fork" : "aging-cold";
+
+    // Calibrate once, like bench_reliability: a fresh isolated job
+    // anchors the offered rate at 2x its service rate.
+    LoadRunSpec calib;
+    calib.workloadId = WorkloadId::Aes;
+    calib.technique = "Conduit";
+    calib.params.scale = cli.scale;
+    calib.jobs = 1;
+    const DeviceSnapshot one = runner.runLoad(calib);
+    const double rate =
+        2.0 / std::max(1e-9, ticksToSeconds(one.makespan));
+
+    static const char *kPolicies[] = {"Conduit", "DM-Offloading",
+                                      "BW-Offloading"};
+    static const std::uint32_t kAges[] = {0, 1000, 2000, 3000};
+    std::vector<AgingRunSpec> cells;
+    for (const char *policy : kPolicies) {
+        for (std::uint32_t age : kAges) {
+            AgingRunSpec cell;
+            cell.load.workloadId = WorkloadId::Aes;
+            cell.load.workload = workloadName(WorkloadId::Aes);
+            cell.load.technique = policy;
+            cell.load.params.scale = cli.scale;
+            cell.load.jobs = 2;
+            cell.load.jobsPerSec = rate;
+            cell.load.arrivals = ArrivalKind::Poisson;
+            cell.load.arrivalSeed = 1;
+            cell.load.warmupJobs = 12;
+            cell.load.steadyState = fork;
+            cell.preWearCycles = age;
+            cell.retentionDays = age * 30.0 / 1000.0;
+            cells.push_back(std::move(cell));
+        }
+    }
+
+    std::vector<DeviceSnapshot> snaps;
+    for (int rep = 0; rep < repeat; ++rep) {
+        snaps = runner.runAgingAll(cells);
+        SweepPerf perf = runner.lastPerf();
+        // Warm-image builds are part of what the fork mode pays;
+        // fold them into the wall so cold vs fork compares the full
+        // end-to-end sweep cost.
+        perf.wallSeconds += perf.warmupSeconds;
+        fold(r, perf, rep);
+    }
+    r.wallMean /= repeat;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        r.digest.push_back(digestLine(
+            cells[i].load.technique + "@" +
+                std::to_string(cells[i].preWearCycles) + "pe",
+            snaps[i].makespan));
+    return r;
+}
+
 bool
 writeJson(const std::string &path, const SweepCli &cli, int repeat,
           unsigned threads, const std::vector<MicroResult> &micro,
@@ -323,7 +428,8 @@ writeJson(const std::string &path, const SweepCli &cli, int repeat,
         return false;
     }
     static const char *kMicroNames[] = {"chain", "fan", "fan_wide",
-                                        "open_loop", "cancel_window"};
+                                        "open_loop", "cancel_window",
+                                        "snapshot_fork"};
     std::fprintf(f, "{\n  \"bench\": \"selfperf\",\n");
     std::fprintf(f, "  \"scale\": %g,\n", cli.scale);
     std::fprintf(f, "  \"repeat\": %d,\n", repeat);
@@ -332,8 +438,13 @@ writeJson(const std::string &path, const SweepCli &cli, int repeat,
     std::uint64_t ops = 0;
     double wall = 0.0;
     for (std::size_t i = 0; i < micro.size(); ++i) {
-        ops += micro[i].ops;
-        wall += micro[i].wallSeconds;
+        // The aggregate stays an event-kernel number: snapshot_fork
+        // counts device forks, not queue events, so mixing its ops
+        // into the pooled rate would skew the kernel trendline.
+        if (std::string(kMicroNames[i]) != "snapshot_fork") {
+            ops += micro[i].ops;
+            wall += micro[i].wallSeconds;
+        }
         std::fprintf(f,
                      "    \"%s_events_per_sec\": %.0f,\n",
                      kMicroNames[i], micro[i].opsPerSec());
@@ -399,7 +510,8 @@ main(int argc, char **argv)
         "(default BENCH_selfperf.json)\n");
 
     static const std::vector<std::string> kScenarios = {
-        "fig07a-reduced", "multi-tenant-8", "open-loop-saturation"};
+        "fig07a-reduced", "multi-tenant-8", "open-loop-saturation",
+        "aging-cold", "aging-fork"};
     if (cli.listWorkloads)
         runner::listAndExit(kScenarios);
     if (cli.listTechniques)
@@ -431,25 +543,29 @@ main(int argc, char **argv)
         }
         return best;
     };
+    SweepRunner runner(cli.runnerOptions());
+    const unsigned threads = runner.workerCount(8);
+
     const std::vector<MicroResult> micro = {
         bestOf([] { return microChain(2'000'000); }),
         bestOf([] { return microFan(1'000'000); }),
         bestOf([] { return microFan(10'000'000); }),
         bestOf([] { return microOpenLoopArrivals(500'000); }),
         bestOf([] { return microCancel(2'000'000); }),
+        bestOf([&] {
+            return microSnapshotFork(runner, cli.scale, 1'000);
+        }),
     };
     static const char *kMicroLabels[] = {
         "chain (self-scheduling)", "fan (pre-populated)",
         "fan wide (10x resident set)",
         "open loop (pre-populated arrivals)",
-        "cancel window (open-loop)"};
+        "cancel window (open-loop)",
+        "snapshot fork (device image)"};
     std::fprintf(stderr, "event-kernel microbench:\n");
     for (std::size_t i = 0; i < micro.size(); ++i)
         std::fprintf(stderr, "  %-28s %12.0f events/s\n",
                      kMicroLabels[i], micro[i].opsPerSec());
-
-    SweepRunner runner(cli.runnerOptions());
-    const unsigned threads = runner.workerCount(8);
 
     std::vector<ScenarioResult> scenarios;
     if (want("fig07a-reduced"))
@@ -460,6 +576,12 @@ main(int argc, char **argv)
     if (want("open-loop-saturation"))
         scenarios.push_back(
             scenarioOpenLoopSaturation(runner, cli, repeat));
+    if (want("aging-cold"))
+        scenarios.push_back(
+            scenarioAging(runner, cli, repeat, /*fork=*/false));
+    if (want("aging-fork"))
+        scenarios.push_back(
+            scenarioAging(runner, cli, repeat, /*fork=*/true));
 
     for (const ScenarioResult &s : scenarios) {
         std::printf("%s (%zu cells, %llu simulated events)\n",

@@ -66,6 +66,48 @@ Device::Device(DeviceOptions opts)
 {
 }
 
+Device::Device(const DeviceImage &img)
+    : opts_(img.options), engine_(opts_.config)
+{
+    engine_.restoreImage(img.engine);
+    regions_.reset(img.capacityPages);
+    engine_.sessionScheduler().setStreamDone(
+        [this](sched::ExecContext &ctx) { onStreamDone(ctx); });
+    session_ = true;
+
+    // Rebuild the retired-job history so drain() reports it exactly
+    // as the captured device would, and new submissions continue the
+    // JobId sequence. Retired jobs reference no context, program, or
+    // policy — only their results — so plain records suffice.
+    for (const JobResult &r : img.jobs) {
+        Job job;
+        job.footprint = r.pages;
+        job.requestedArrival = r.arrival;
+        job.state = Job::State::Retired;
+        job.result = r;
+        jobs_.push_back(std::move(job));
+    }
+    retired_ = jobs_.size();
+    makespan_ = img.makespan;
+}
+
+DeviceImage
+Device::snapshot()
+{
+    ensureSession();
+    advanceToQuiescence();
+
+    DeviceImage img;
+    img.options = opts_;
+    img.capacityPages = regions_.capacity();
+    img.engine = engine_.captureImage();
+    img.makespan = makespan_;
+    img.jobs.reserve(jobs_.size());
+    for (const Job &job : jobs_)
+        img.jobs.push_back(job.result);
+    return img;
+}
+
 JobId
 Device::submit(const JobSpec &spec)
 {

@@ -228,6 +228,43 @@ struct DeviceSnapshot
 };
 
 /**
+ * A deep snapshot of a quiescent Device — everything needed to
+ * construct a device whose subsequent simulation is byte-identical
+ * to one that lived through the captured history (warmup, aging, GC,
+ * retirements, the lot). A value type: copy it, share it read-only
+ * across threads (`std::shared_ptr<const DeviceImage>`), and fork as
+ * many independent devices from one image as you like — each
+ * Device::fromImage() deep-copies on construction.
+ */
+struct DeviceImage
+{
+    /** The captured device's options (config, engine, workload). */
+    DeviceOptions options;
+
+    /**
+     * The logical-page pool capacity in force at capture. Recorded
+     * explicitly so images taken from auto-sized devices
+     * (capacityPages == 0) fork with the pool the warmup actually
+     * established, not a re-derived one.
+     */
+    std::uint64_t capacityPages = 0;
+
+    /** Full engine-level state (substrates, RNG, clock, stats). */
+    Engine::Image engine;
+
+    /**
+     * Results of every job retired before the capture, in submission
+     * order. Forked devices carry these so drain() reports the full
+     * history — byte-identical to the continued device's — and JobId
+     * numbering continues from the right place.
+     */
+    std::vector<JobResult> jobs;
+
+    /** Latest job end at capture. */
+    Tick makespan = 0;
+};
+
+/**
  * A persistent simulated SSD accepting jobs over its lifetime.
  *
  * Not thread-safe: a Device advances one discrete-event simulation;
@@ -238,6 +275,14 @@ class Device
 {
   public:
     explicit Device(DeviceOptions opts = {});
+
+    /**
+     * Construct a device continuing exactly where @p img left off:
+     * same simulated clock, same wear and mappings, same RNG stream
+     * positions, same retired-job history. Equivalent to
+     * fromImage(img).
+     */
+    explicit Device(const DeviceImage &img);
 
     /**
      * Non-copyable, non-movable: the engine's subsystems hold
@@ -271,6 +316,22 @@ class Device
      * more jobs may be submitted afterwards and drained again.
      */
     DeviceSnapshot drain();
+
+    /**
+     * Capture a deep image of the device: advance to quiescence
+     * (every submitted job retired, queue empty), then copy all
+     * mutable simulated state. The device stays usable afterwards.
+     * Fork-equivalence contract: a Device built from the image and a
+     * device that keeps living produce byte-identical simulated
+     * results for identical subsequent submissions.
+     */
+    DeviceImage snapshot();
+
+    /** Fork a fresh device from @p img (guaranteed-elision factory). */
+    static Device fromImage(const DeviceImage &img)
+    {
+        return Device(img);
+    }
 
     /** Current simulated time of the device. */
     Tick now() const;

@@ -999,6 +999,76 @@ Engine::run(std::vector<sched::StreamSpec> streams,
     return mr;
 }
 
+Engine::Image
+Engine::captureImage() const
+{
+    if (!queue_)
+        throw std::logic_error(
+            "Engine::captureImage: no session open");
+    if (!queue_->empty() || ctx_ != nullptr)
+        throw std::logic_error(
+            "Engine::captureImage: session not quiescent");
+
+    Image img;
+    img.opts = opts_;
+    img.capacityPages = pageMeta_.size();
+    img.ftl = ftl_.capture();
+    img.nand = nand_.capture();
+    img.dram = dram_.capture();
+    img.isp = isp_.capture();
+    if (rel_) {
+        img.hasReliability = true;
+        img.rel = rel_->capture();
+    }
+    img.stats = stats_;
+    img.rng = rng_;
+    img.offloader = offloader_;
+    img.pcie = pcie_;
+    img.pageMeta = pageMeta_;
+    img.latchFifo = latchFifo_;
+    img.dramCapacityPages = dramCapacityPages_;
+    img.dramLru = dramLru_;
+    img.nextScrubAt = nextScrubAt_;
+    img.scrubCursor = scrubCursor_;
+    img.queueNow = queue_->now();
+    img.queueFired = queue_->eventsFired();
+    return img;
+}
+
+void
+Engine::restoreImage(const Image &img)
+{
+    if (img.hasReliability != (rel_ != nullptr))
+        throw std::invalid_argument(
+            "Engine::restoreImage: reliability enablement mismatch "
+            "between the image and this engine's config");
+
+    // Open a fresh session sized like the captured one. The FTL
+    // preload inside prepare() performs only metadata writes (no
+    // media or calendar operations), so every one of its side
+    // effects is overwritten wholesale by the restores below.
+    sessionBegin(img.capacityPages, img.opts);
+
+    ftl_.restore(img.ftl);
+    nand_.restore(img.nand);
+    dram_.restore(img.dram);
+    isp_.restore(img.isp);
+    if (rel_)
+        rel_->restore(img.rel);
+    stats_.restoreFrom(img.stats);
+    rng_ = img.rng;
+    offloader_ = img.offloader;
+    pcie_ = img.pcie;
+    pageMeta_ = img.pageMeta;
+    latchFifo_ = img.latchFifo;
+    dramCapacityPages_ = img.dramCapacityPages;
+    dramLru_ = img.dramLru;
+    nextScrubAt_ = img.nextScrubAt;
+    scrubCursor_ = img.scrubCursor;
+    scrubScheduled_ = false; // quiescent capture: no pending event
+    queue_->restore(img.queueNow, img.queueFired);
+}
+
 void
 accumulateResult(RunResult &agg, const RunResult &r)
 {

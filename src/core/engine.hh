@@ -361,6 +361,62 @@ class Engine : public sched::StreamDispatcher
     // the opposite regime (constant evictions) and uses RankLru.
     std::uint64_t dramCapacityPages_ = 0;
     FlatLru dramLru_;
+
+  public:
+    /**
+     * Deep snapshot of a quiescent session — every mutable simulated
+     * quantity, so a restored engine's subsequent simulation is
+     * byte-identical to one that lived through the captured history:
+     * substrate images (FTL, NAND, DRAM, ISP, reliability), coherence
+     * metadata and latch FIFOs, the DRAM-staging LRU, the RNG stream
+     * position, the offloader/PCIe calendars, scrub-task state, the
+     * event-queue clock, and the full StatSet. Capture requires
+     * quiescence (empty queue, no stream mid-dispatch), so no event
+     * or borrowed context ever crosses the snapshot boundary.
+     */
+    struct Image
+    {
+        EngineOptions opts;
+        std::uint64_t capacityPages = 0;
+
+        Ftl::Image ftl;
+        NandArray::Image nand;
+        DramModel::Image dram;
+        IspCore::Image isp;
+        /** Present exactly when cfg.reliability.enabled. */
+        bool hasReliability = false;
+        reliability::ReliabilityModel::Image rel;
+
+        StatSet stats;
+        Rng rng;
+        Server offloader;
+        Server pcie;
+        std::vector<PageMeta> pageMeta;
+        std::vector<std::deque<Lpn>> latchFifo;
+        std::uint64_t dramCapacityPages = 0;
+        FlatLru dramLru;
+        Tick nextScrubAt = 0;
+        std::uint64_t scrubCursor = 0;
+        Tick queueNow = 0;
+        std::uint64_t queueFired = 0;
+    };
+
+    /**
+     * Capture the session's complete mutable state. Only valid at
+     * quiescence: the event queue must be empty (every attached
+     * stream finished and drained).
+     */
+    Image captureImage() const;
+
+    /**
+     * Reopen this engine as an exact continuation of @p img. Must be
+     * called on a freshly constructed Engine built from the same
+     * SsdConfig the image was captured under (geometry, seed, and
+     * reliability enablement are construction-derived and must
+     * match). Internally begins a session and then overwrites every
+     * mutable quantity with the image's.
+     */
+    void restoreImage(const Image &img);
 };
 
 /**

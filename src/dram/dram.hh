@@ -15,6 +15,8 @@
 #define CONDUIT_DRAM_DRAM_HH
 
 #include <cstdint>
+#include <stdexcept>
+#include <vector>
 
 #include "src/sim/config.hh"
 #include "src/sim/server.hh"
@@ -89,6 +91,40 @@ class DramModel
     }
 
     void reset();
+
+    /**
+     * Mutable calendar state for DeviceImage snapshots: every bank
+     * Server plus the shared bus. Stored as plain Servers (not a
+     * ServerGroup) so the image stays default-constructible; restore
+     * re-seats them into the existing group unit by unit.
+     */
+    struct Image
+    {
+        std::vector<Server> banks;
+        Server bus;
+    };
+
+    Image
+    capture() const
+    {
+        Image img;
+        img.banks.reserve(banks_.size());
+        for (std::size_t i = 0; i < banks_.size(); ++i)
+            img.banks.push_back(banks_.unit(i));
+        img.bus = bus_;
+        return img;
+    }
+
+    void
+    restore(const Image &img)
+    {
+        if (img.banks.size() != banks_.size())
+            throw std::invalid_argument(
+                "DramModel::restore: bank count mismatch");
+        for (std::size_t i = 0; i < banks_.size(); ++i)
+            banks_.unit(i) = img.banks[i];
+        bus_ = img.bus;
+    }
 
   private:
     DramConfig cfg_;

@@ -382,6 +382,48 @@ Ftl::maybeGc(Tick now)
     }
 }
 
+Ftl::Image
+Ftl::capture() const
+{
+    Image img;
+    img.l2p = l2p_;
+    img.blocks = blocks_;
+    img.openBlock = openBlock_;
+    img.nextSlot = nextSlot_;
+    img.freeBlockCount = freeBlockCount_;
+    img.retiredBlocks = retiredBlocks_;
+    img.gcRuns = gcRuns_;
+    img.lastGcTick = lastGcTick_;
+    img.mapCacheCapacity = mapCacheCapacity_;
+    img.mapLru = mapLru_;
+    img.mapHits = mapHits_;
+    img.mapMisses = mapMisses_;
+    return img;
+}
+
+void
+Ftl::restore(const Image &img)
+{
+    if (img.l2p.size() != l2p_.size() ||
+        img.blocks.size() != blocks_.size() ||
+        img.openBlock.size() != openBlock_.size()) {
+        throw std::invalid_argument(
+            "Ftl::restore: image geometry mismatch");
+    }
+    l2p_ = img.l2p;
+    blocks_ = img.blocks;
+    openBlock_ = img.openBlock;
+    nextSlot_ = img.nextSlot;
+    freeBlockCount_ = img.freeBlockCount;
+    retiredBlocks_ = img.retiredBlocks;
+    gcRuns_ = img.gcRuns;
+    lastGcTick_ = img.lastGcTick;
+    mapCacheCapacity_ = img.mapCacheCapacity;
+    mapLru_ = img.mapLru;
+    mapHits_ = img.mapHits;
+    mapMisses_ = img.mapMisses;
+}
+
 std::uint32_t
 Ftl::maxErase() const
 {

@@ -223,6 +223,35 @@ class Ftl
     Counter *statMapMisses_ = nullptr;
     Counter *statGcRuns_ = nullptr;
     Counter *statGcMigrations_ = nullptr;
+
+  public:
+    /**
+     * Deep copy of every mutable FTL quantity, for DeviceImage
+     * snapshots: L2P mappings, per-block state (validity, reverse
+     * maps, wear, open/bad/collecting flags), open-block cursors and
+     * the stripe pointer, GC/OP accounting, and the demand
+     * mapping-cache contents. Geometry-derived members (config,
+     * logicalPages) are reproduced by constructing the restoring FTL
+     * from the same SsdConfig and are deliberately not captured.
+     */
+    struct Image
+    {
+        std::vector<Ppn> l2p;
+        std::vector<BlockState> blocks;
+        std::vector<std::uint64_t> openBlock;
+        std::uint64_t nextSlot = 0;
+        std::uint64_t freeBlockCount = 0;
+        std::uint64_t retiredBlocks = 0;
+        std::uint64_t gcRuns = 0;
+        Tick lastGcTick = 0;
+        std::uint64_t mapCacheCapacity = 0;
+        FlatLru mapLru;
+        std::uint64_t mapHits = 0;
+        std::uint64_t mapMisses = 0;
+    };
+
+    Image capture() const;
+    void restore(const Image &img);
 };
 
 } // namespace conduit

@@ -63,6 +63,15 @@ class IspCore
 
     void reset() { core_.reset(); }
 
+    /** Mutable calendar state for DeviceImage snapshots. */
+    struct Image
+    {
+        Server core;
+    };
+
+    Image capture() const { return Image{core_}; }
+    void restore(const Image &img) { core_ = img.core; }
+
   private:
     double cyclesPerSimd(OpCode op) const;
 

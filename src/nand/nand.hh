@@ -162,6 +162,40 @@ class NandArray
 
     void reset();
 
+    /**
+     * Mutable calendar state for DeviceImage snapshots: every die and
+     * channel Server (free point, busy-time integral, request count)
+     * plus the incremental min-die cache. The codec and config are
+     * constructor-derived and not captured.
+     */
+    struct Image
+    {
+        std::vector<Server> dies;
+        std::vector<Server> channels;
+        std::uint32_t minDie = 0;
+        Tick minDieFreeAt = 0;
+    };
+
+    Image
+    capture() const
+    {
+        Image img;
+        img.dies = dies_;
+        img.channels = channels_;
+        img.minDie = minDie_;
+        img.minDieFreeAt = minDieFreeAt_;
+        return img;
+    }
+
+    void
+    restore(const Image &img)
+    {
+        dies_ = img.dies;
+        channels_ = img.channels;
+        minDie_ = img.minDie;
+        minDieFreeAt_ = img.minDieFreeAt;
+    }
+
   private:
     /**
      * One mixed-radix digit of the address codec, precomputed so

@@ -32,6 +32,7 @@
 #define CONDUIT_RELIABILITY_RELIABILITY_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "src/reliability/ecc_engine.hh"
@@ -195,6 +196,48 @@ class ReliabilityModel
     Counter *statRetiredBlocks_ = nullptr;
     Counter *statScrubPasses_ = nullptr;
     Counter *statScrubRefreshes_ = nullptr;
+
+  public:
+    /**
+     * Deep copy of the aging state for DeviceImage snapshots:
+     * per-block wear (including the memoized read plans, which are
+     * pure functions of wear + retention bucket), the device-total
+     * erase count, and the cumulative ReliabilityStats. The
+     * typicalReadPenalty memo is not captured — restore marks it
+     * stale and the next query deterministically recomputes it from
+     * the restored wear. RberModel/EccEngine are config+seed-derived
+     * constants reproduced by construction.
+     */
+    struct Image
+    {
+        std::vector<BlockWear> wear;
+        std::uint64_t totalErases = 0;
+        ReliabilityStats stats;
+    };
+
+    Image
+    capture() const
+    {
+        Image img;
+        img.wear = wear_;
+        img.totalErases = totalErases_;
+        img.stats = stats_;
+        return img;
+    }
+
+    void
+    restore(const Image &img)
+    {
+        if (img.wear.size() != wear_.size())
+            throw std::invalid_argument(
+                "ReliabilityModel::restore: block count mismatch");
+        wear_ = img.wear;
+        totalErases_ = img.totalErases;
+        stats_ = img.stats;
+        penaltyBucket_ = kMaxTick;
+        penaltyErases_ = ~std::uint64_t{0};
+        penalty_ = 0;
+    }
 };
 
 } // namespace conduit::reliability

@@ -222,6 +222,37 @@ struct LoadRunSpec
      * only on device resources, not admission).
      */
     std::uint64_t capacityPages = 0;
+
+    /**
+     * @name Steady-state (warm-device) measurement
+     *
+     * With warmupJobs > 0 the cell runs two phases: warmupJobs jobs
+     * of warm traffic drive the device to quiescence, then the
+     * measured @ref jobs run on the warmed device (arrival gaps
+     * continue the same process; result rows report the measured
+     * phase). steadyState selects how the warm phase executes:
+     * false replays it in place (cold two-phase), true forks the
+     * device from a warm DeviceImage — byte-identical by the
+     * fork-equivalence contract, but the image is built once and
+     * shared across every cell with identical warm-phase inputs.
+     * @{
+     */
+
+    /** Warm-traffic jobs before the measured phase (0 = cold run). */
+    std::size_t warmupJobs = 0;
+
+    /**
+     * Policy the warm traffic runs under. Fixed per rung — not the
+     * cell's technique — so cells differing only by policy share one
+     * warmed image.
+     */
+    std::string warmupTechnique = "Conduit";
+
+    /** Fork from a warm DeviceImage instead of replaying the warm
+     *  phase in place. Requires warmupJobs > 0. */
+    bool steadyState = false;
+
+    /** @} */
 };
 
 /**

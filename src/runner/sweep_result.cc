@@ -304,19 +304,38 @@ makeLoadRow(const LoadRunSpec &spec, const DeviceSnapshot &snap)
                                        : std::string();
     r.technique = spec.technique;
     r.jobsPerSec = spec.jobsPerSec;
-    r.jobs = snap.jobs.size();
-    r.makespanMs = ticksToUs(snap.makespan) / 1000.0;
-    r.throughputJobsPerSec = snap.makespan == 0
+
+    // With a warm phase, report the measured phase only: the first
+    // warmupJobs entries (submission-ordered) exist to reach steady
+    // state. Both warm-phase modes carry identical warm JobResults
+    // — in-place replay retires them, a fork inherits them from the
+    // image — so rows diff clean between cold and fork sweeps.
+    const std::size_t warm =
+        std::min<std::size_t>(spec.warmupJobs, snap.jobs.size());
+    const std::size_t measured = snap.jobs.size() - warm;
+    Tick warmEnd = 0;
+    for (std::size_t i = 0; i < warm; ++i)
+        warmEnd = std::max(warmEnd, snap.jobs[i].end);
+    const Tick span =
+        snap.makespan > warmEnd ? snap.makespan - warmEnd : 0;
+
+    r.jobs = measured;
+    r.makespanMs = ticksToUs(span) / 1000.0;
+    r.throughputJobsPerSec = span == 0
         ? 0.0
-        : static_cast<double>(snap.jobs.size()) /
-            ticksToSeconds(snap.makespan);
+        : static_cast<double>(measured) / ticksToSeconds(span);
     double sojourn = 0.0;
-    for (const JobResult &j : snap.jobs)
-        sojourn += ticksToUs(j.sojourn()) / 1000.0;
-    r.meanSojournMs = snap.jobs.empty()
+    for (std::size_t i = warm; i < snap.jobs.size(); ++i)
+        sojourn += ticksToUs(snap.jobs[i].sojourn()) / 1000.0;
+    r.meanSojournMs = measured == 0
         ? 0.0
-        : sojourn / static_cast<double>(snap.jobs.size());
-    const Histogram &h = snap.aggregate.latencyUs;
+        : sojourn / static_cast<double>(measured);
+    Histogram measuredLat;
+    if (warm > 0)
+        for (std::size_t i = warm; i < snap.jobs.size(); ++i)
+            measuredLat.merge(snap.jobs[i].result.latencyUs);
+    const Histogram &h =
+        warm > 0 ? measuredLat : snap.aggregate.latencyUs;
     r.p50Us = h.count() ? h.percentile(50) : 0.0;
     r.p99Us = h.count() ? h.percentile(99) : 0.0;
     r.p9999Us = h.count() ? h.percentile(99.99) : 0.0;

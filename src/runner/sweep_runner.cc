@@ -7,6 +7,7 @@
 #include <exception>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "src/host/host_model.hh"
@@ -94,6 +95,119 @@ agingCellLabel(const AgingRunSpec &spec)
     return loadCellLabel(spec.load) + age;
 }
 
+/** Resolve an offered-load cell's program (explicit > workload). */
+std::shared_ptr<const Program>
+resolveLoadProgram(ProgramCache &cache, const LoadRunSpec &spec)
+{
+    if (spec.program)
+        return spec.program;
+    if (!spec.workloadId)
+        throw std::invalid_argument(
+            "LoadRunSpec has neither a program nor a workload: " +
+            spec.workload + "/" + spec.technique);
+    auto compiled =
+        cache.get(*spec.workloadId, spec.params, spec.config);
+    return std::shared_ptr<const Program>(compiled,
+                                          &compiled->program);
+}
+
+/** Display name the cell's jobs are submitted under. */
+std::string
+loadJobName(const LoadRunSpec &spec,
+            const std::shared_ptr<const Program> &prog)
+{
+    return !spec.workload.empty() ? spec.workload
+        : spec.workloadId ? workloadName(*spec.workloadId)
+                          : prog->name;
+}
+
+/** Device options of an offered-load cell. */
+DeviceOptions
+loadDeviceOptions(const LoadRunSpec &spec)
+{
+    DeviceOptions dopts =
+        makeDeviceOptions(spec.config, spec.engine, spec.params);
+    dopts.capacityPages = spec.capacityPages;
+    // Open-loop cells retire eagerly so page regions recycle while
+    // later arrivals are still in flight.
+    dopts.retire = RetirePolicy::OnComplete;
+    return dopts;
+}
+
+/** Fresh arrival process of the cell (null at zero rate). */
+std::unique_ptr<ArrivalProcess>
+loadArrivals(const LoadRunSpec &spec)
+{
+    if (spec.jobsPerSec <= 0.0)
+        return nullptr;
+    return makeArrivals(spec.arrivals,
+                        static_cast<double>(kPsPerS) / spec.jobsPerSec,
+                        spec.arrivalSeed);
+}
+
+/**
+ * Submit @p count jobs to @p dev, each advancing @p at by the next
+ * arrival gap. Warm-phase jobs run under spec.warmupTechnique (by
+ * name — custom policy factories apply to measured jobs only, so
+ * warm phases stay shareable across a factory-varied sweep).
+ */
+void
+submitLoadJobs(Device &dev, const LoadRunSpec &spec,
+               const std::shared_ptr<const Program> &prog,
+               const std::string &name, std::size_t count, bool warm,
+               ArrivalProcess *arrivals, Tick &at)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        if (arrivals)
+            at += arrivals->next();
+        JobSpec job;
+        job.name = name;
+        job.program = prog;
+        // Fresh policy object per job (policies may carry state).
+        job.policyObj = !warm && spec.policy
+            ? std::shared_ptr<OffloadPolicy>(spec.policy())
+            : std::shared_ptr<OffloadPolicy>(makePolicy(
+                  warm ? spec.warmupTechnique : spec.technique));
+        job.arrival = at;
+        dev.submit(job);
+    }
+}
+
+/**
+ * Warm-image sharing key: every spec field the warm phase's
+ * simulation reads. Equal keys mean byte-identical warm phases, so
+ * runLoadSweep builds the image once and lets every matching cell
+ * fork it. Covers the axes the benches and the aging transform vary
+ * (technique and measured-job count are deliberately absent — the
+ * warm phase runs under warmupTechnique before any measured job).
+ */
+std::string
+warmImageKey(const LoadRunSpec &spec)
+{
+    char buf[320];
+    std::snprintf(
+        buf, sizeof buf,
+        "|p%p|i%d|w%zu|r%.17g|a%d|as%llu|cap%llu|sc%.17g"
+        "|sd%llu|mc%.17g|gc%.17g|ds%.17g|mf%.17g"
+        "|re%d|pw%lu|rd%.17g",
+        static_cast<const void *>(spec.program.get()),
+        spec.workloadId ? static_cast<int>(*spec.workloadId) : -1,
+        spec.warmupJobs, spec.jobsPerSec,
+        static_cast<int>(spec.arrivals),
+        static_cast<unsigned long long>(spec.arrivalSeed),
+        static_cast<unsigned long long>(spec.capacityPages),
+        spec.params.scale,
+        static_cast<unsigned long long>(spec.config.seed),
+        spec.config.mappingCacheCoverage, spec.config.gcThreshold,
+        spec.engine.dramStagingFraction,
+        spec.engine.mappingCacheFraction,
+        spec.config.reliability.enabled ? 1 : 0,
+        static_cast<unsigned long>(
+            spec.config.reliability.preWearCycles),
+        spec.config.reliability.retentionDays);
+    return spec.workload + "/" + spec.warmupTechnique + buf;
+}
+
 } // namespace
 
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}
@@ -106,6 +220,8 @@ SweepRunner::lastPerf() const
     p.cells = perfCells_;
     p.eventsFired = perfEvents_.load(std::memory_order_relaxed);
     p.perCell = perfPerCell_;
+    p.warmupSeconds = perfWarmWall_;
+    p.warmupImages = perfWarmImages_;
     return p;
 }
 
@@ -116,6 +232,8 @@ SweepRunner::timedSweep(std::size_t cells, const Body &body)
     perfCells_ = cells;
     perfEvents_.store(0, std::memory_order_relaxed);
     perfPerCell_.assign(cells, {});
+    perfWarmWall_ = 0.0;
+    perfWarmImages_ = 0;
     const auto t0 = std::chrono::steady_clock::now();
     body();
     perfWall_ = sinceSeconds(t0);
@@ -276,60 +394,76 @@ SweepRunner::runMultiAll(const std::vector<MultiRunSpec> &specs)
     return results;
 }
 
+DeviceImage
+SweepRunner::buildWarmImage(const LoadRunSpec &spec)
+{
+    if (spec.warmupJobs == 0)
+        throw std::invalid_argument(
+            "buildWarmImage: spec.warmupJobs is 0: " + spec.workload);
+    auto prog = resolveLoadProgram(cache_, spec);
+    const std::string name = loadJobName(spec, prog);
+    Device dev(loadDeviceOptions(spec));
+    auto arrivals = loadArrivals(spec);
+    Tick at = 0;
+    submitLoadJobs(dev, spec, prog, name, spec.warmupJobs,
+                   /*warm=*/true, arrivals.get(), at);
+    return dev.snapshot();
+}
+
 DeviceSnapshot
-SweepRunner::runLoad(const LoadRunSpec &spec)
+SweepRunner::runLoadCell(const LoadRunSpec &spec,
+                         const DeviceImage *warm)
 {
     if (spec.technique == "CPU" || spec.technique == "GPU")
         throw std::invalid_argument(
             "offered-load cells run on the SSD engine; host baseline "
             "'" + spec.technique + "' cannot serve jobs: " +
             spec.workload);
-    std::shared_ptr<const Program> prog = spec.program;
-    if (!prog) {
-        if (!spec.workloadId)
-            throw std::invalid_argument(
-                "LoadRunSpec has neither a program nor a workload: " +
-                spec.workload + "/" + spec.technique);
-        auto compiled =
-            cache_.get(*spec.workloadId, spec.params, spec.config);
-        prog = std::shared_ptr<const Program>(compiled,
-                                              &compiled->program);
-    }
+    if (spec.steadyState && spec.warmupJobs == 0)
+        throw std::invalid_argument(
+            "LoadRunSpec: steadyState needs warmupJobs > 0: " +
+            spec.workload);
+    auto prog = resolveLoadProgram(cache_, spec);
+    const std::string name = loadJobName(spec, prog);
+    auto arrivals = loadArrivals(spec);
 
-    DeviceOptions dopts =
-        makeDeviceOptions(spec.config, spec.engine, spec.params);
-    dopts.capacityPages = spec.capacityPages;
-    // Open-loop cells retire eagerly so page regions recycle while
-    // later arrivals are still in flight.
-    dopts.retire = RetirePolicy::OnComplete;
-    Device dev(dopts);
-
-    std::unique_ptr<ArrivalProcess> arrivals;
-    if (spec.jobsPerSec > 0.0) {
-        arrivals = makeArrivals(
-            spec.arrivals,
-            static_cast<double>(kPsPerS) / spec.jobsPerSec,
-            spec.arrivalSeed);
-    }
-    const std::string label = !spec.workload.empty() ? spec.workload
-        : spec.workloadId ? workloadName(*spec.workloadId)
-                          : prog->name;
+    std::optional<Device> dev;
     Tick at = 0;
-    for (std::size_t i = 0; i < spec.jobs; ++i) {
+    if (spec.steadyState) {
+        // Fork: the warm phase already ran inside the image. Burn
+        // its arrival gaps so the measured phase continues the same
+        // arrival process a cold two-phase run sees.
+        if (warm) {
+            dev.emplace(*warm);
+        } else {
+            const DeviceImage own = buildWarmImage(spec);
+            dev.emplace(own);
+        }
         if (arrivals)
-            at += arrivals->next();
-        JobSpec job;
-        job.name = label;
-        job.program = prog;
-        // Fresh policy object per job (policies may carry state).
-        job.policyObj = spec.policy
-            ? std::shared_ptr<OffloadPolicy>(spec.policy())
-            : std::shared_ptr<OffloadPolicy>(
-                  makePolicy(spec.technique));
-        job.arrival = at;
-        dev.submit(job);
+            for (std::size_t i = 0; i < spec.warmupJobs; ++i)
+                arrivals->next();
+        at = dev->now();
+    } else {
+        dev.emplace(loadDeviceOptions(spec));
+        if (spec.warmupJobs > 0) {
+            // Cold two-phase: replay the warm phase in place, with
+            // the same quiescence barrier snapshot() applies, then
+            // resume the arrival clock from the drained device.
+            submitLoadJobs(*dev, spec, prog, name, spec.warmupJobs,
+                           /*warm=*/true, arrivals.get(), at);
+            dev->drain();
+            at = dev->now();
+        }
     }
-    return dev.drain();
+    submitLoadJobs(*dev, spec, prog, name, spec.jobs,
+                   /*warm=*/false, arrivals.get(), at);
+    return dev->drain();
+}
+
+DeviceSnapshot
+SweepRunner::runLoad(const LoadRunSpec &spec)
+{
+    return runLoadCell(spec, nullptr);
 }
 
 DeviceSnapshot
@@ -343,39 +477,93 @@ SweepRunner::runAging(const AgingRunSpec &spec)
 }
 
 std::vector<DeviceSnapshot>
+SweepRunner::runLoadSweep(const std::vector<LoadRunSpec> &specs,
+                          const std::vector<std::string> &labels)
+{
+    const std::size_t n = specs.size();
+
+    // Phase 1: build each distinct warm image once, in parallel.
+    // Cells whose warm-phase inputs agree share one image read-only
+    // (forking deep-copies), so an A-policies x B-ages sweep builds
+    // B images, not A*B.
+    std::vector<std::shared_ptr<const DeviceImage>> cellImage(n);
+    double warmWall = 0.0;
+    std::size_t warmBuilt = 0;
+    {
+        std::unordered_map<std::string, std::size_t> slots;
+        std::vector<std::size_t> slotOf(n, n);
+        std::vector<std::size_t> builder;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!specs[i].steadyState || specs[i].warmupJobs == 0)
+                continue;
+            const auto [it, fresh] =
+                slots.emplace(warmImageKey(specs[i]), builder.size());
+            if (fresh)
+                builder.push_back(i);
+            slotOf[i] = it->second;
+        }
+        if (!builder.empty()) {
+            std::vector<std::shared_ptr<const DeviceImage>> images(
+                builder.size());
+            const auto w0 = std::chrono::steady_clock::now();
+            parallelFor(workerCount(builder.size()), builder.size(),
+                        [&](std::size_t j) {
+                            images[j] =
+                                std::make_shared<const DeviceImage>(
+                                    buildWarmImage(specs[builder[j]]));
+                        });
+            warmWall = sinceSeconds(w0);
+            warmBuilt = builder.size();
+            for (std::size_t i = 0; i < n; ++i)
+                if (slotOf[i] < n)
+                    cellImage[i] = images[slotOf[i]];
+        }
+    }
+
+    // Phase 2: the measured cells, forking from the shared images.
+    std::vector<DeviceSnapshot> results(n);
+    timedSweep(n, [&] {
+        parallelFor(workerCount(n), n, [&](std::size_t i) {
+            const auto c0 = std::chrono::steady_clock::now();
+            results[i] = runLoadCell(specs[i], cellImage[i].get());
+            recordCell(i, labels[i], sinceSeconds(c0),
+                       results[i].eventsFired);
+        });
+    });
+    perfWarmWall_ = warmWall;
+    perfWarmImages_ = warmBuilt;
+    return results;
+}
+
+std::vector<DeviceSnapshot>
 SweepRunner::runAgingAll(const std::vector<AgingRunSpec> &specs)
 {
-    std::vector<DeviceSnapshot> results(specs.size());
-    timedSweep(specs.size(), [&] {
-        parallelFor(workerCount(specs.size()), specs.size(),
-                    [&](std::size_t i) {
-                        const auto c0 =
-                            std::chrono::steady_clock::now();
-                        results[i] = runAging(specs[i]);
-                        recordCell(i, agingCellLabel(specs[i]),
-                                   sinceSeconds(c0),
-                                   results[i].eventsFired);
-                    });
-    });
-    return results;
+    // Fold the aging knobs into offered-load specs up front so the
+    // warm-image dedup sees the final per-cell configs (cells of one
+    // age rung share a warm image across policies).
+    std::vector<LoadRunSpec> cells;
+    std::vector<std::string> labels;
+    cells.reserve(specs.size());
+    labels.reserve(specs.size());
+    for (const AgingRunSpec &spec : specs) {
+        LoadRunSpec cell = spec.load;
+        cell.config.reliability.enabled = true;
+        cell.config.reliability.preWearCycles = spec.preWearCycles;
+        cell.config.reliability.retentionDays = spec.retentionDays;
+        cells.push_back(std::move(cell));
+        labels.push_back(agingCellLabel(spec));
+    }
+    return runLoadSweep(cells, labels);
 }
 
 std::vector<DeviceSnapshot>
 SweepRunner::runLoadAll(const std::vector<LoadRunSpec> &specs)
 {
-    std::vector<DeviceSnapshot> results(specs.size());
-    timedSweep(specs.size(), [&] {
-        parallelFor(workerCount(specs.size()), specs.size(),
-                    [&](std::size_t i) {
-                        const auto c0 =
-                            std::chrono::steady_clock::now();
-                        results[i] = runLoad(specs[i]);
-                        recordCell(i, loadCellLabel(specs[i]),
-                                   sinceSeconds(c0),
-                                   results[i].eventsFired);
-                    });
-    });
-    return results;
+    std::vector<std::string> labels;
+    labels.reserve(specs.size());
+    for (const LoadRunSpec &spec : specs)
+        labels.push_back(loadCellLabel(spec));
+    return runLoadSweep(specs, labels);
 }
 
 SweepResult

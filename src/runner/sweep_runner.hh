@@ -69,6 +69,16 @@ struct SweepPerf
     /** One entry per cell, in spec order. */
     std::vector<CellPerf> perCell;
 
+    /**
+     * Warm-phase attribution of a steady-state sweep: wall spent
+     * building the distinct warm DeviceImages (paid once, before the
+     * cells fork) and how many distinct images were built. Zero for
+     * cold sweeps. Not folded into wallSeconds — report it once,
+     * beside the sweep time.
+     */
+    double warmupSeconds = 0.0;
+    std::size_t warmupImages = 0;
+
     double
     eventsPerSec() const
     {
@@ -128,6 +138,16 @@ class SweepRunner
     runLoadAll(const std::vector<LoadRunSpec> &specs);
 
     /**
+     * Build the warm DeviceImage of @p spec: a fresh device carried
+     * through spec.warmupJobs jobs of warm traffic (the same arrival
+     * process the cell uses, under spec.warmupTechnique) and
+     * snapshotted at quiescence. Cells whose warm-phase inputs are
+     * equal produce byte-identical images, so one image can serve
+     * every such cell read-only (Device::fromImage deep-copies).
+     */
+    DeviceImage buildWarmImage(const LoadRunSpec &spec);
+
+    /**
      * Execute one aging cell: the spec's offered-load cell on a
      * device with the reliability subsystem enabled and fast-
      * forwarded to (preWearCycles, retentionDays). Deterministic for
@@ -160,6 +180,28 @@ class SweepRunner
     SweepPerf lastPerf() const;
 
   private:
+    /**
+     * The shared single-cell body: runLoad with an optional
+     * pre-built warm image. With spec.steadyState set, the cell
+     * forks from @p warm (building its own image when null — the
+     * standalone entry points); otherwise the warm phase, if any,
+     * replays in place. Either way the measured phase is the same
+     * code on the same device state, so fork and cold cells are
+     * byte-identical.
+     */
+    DeviceSnapshot runLoadCell(const LoadRunSpec &spec,
+                               const DeviceImage *warm);
+
+    /**
+     * Sweep @p specs with warm-image sharing: distinct warm images
+     * (deduplicated by warm-phase inputs) build once in parallel,
+     * then every cell forks its image. Labels are per-cell
+     * attribution strings, in spec order.
+     */
+    std::vector<DeviceSnapshot>
+    runLoadSweep(const std::vector<LoadRunSpec> &specs,
+                 const std::vector<std::string> &labels);
+
     /** Time @p body, tallying cells/events into lastPerf(). */
     template <typename Body>
     void timedSweep(std::size_t cells, const Body &body);
@@ -178,6 +220,8 @@ class SweepRunner
     std::size_t perfCells_ = 0;
     std::atomic<std::uint64_t> perfEvents_{0};
     std::vector<SweepPerf::CellPerf> perfPerCell_;
+    double perfWarmWall_ = 0.0;
+    std::size_t perfWarmImages_ = 0;
 };
 
 } // namespace conduit::runner

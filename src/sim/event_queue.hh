@@ -48,6 +48,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "src/sim/small_fn.hh"
@@ -127,6 +128,26 @@ class EventQueue
 
     /** Total events fired since construction. */
     std::uint64_t eventsFired() const { return fired_; }
+
+    /**
+     * Adopt a snapshot's clock on a fresh queue (DeviceImage
+     * restore): sets now() and eventsFired() to the captured values
+     * so a forked run's schedule() floors and fired counts continue
+     * exactly where the captured run stood. Only valid on a queue
+     * that has never scheduled or fired anything — a device image is
+     * captured at quiescence, so the restored queue starts empty.
+     * Sequence numbers deliberately restart: they only order events
+     * that coexist, and no event survives the snapshot boundary.
+     */
+    void
+    restore(Tick now, std::uint64_t fired)
+    {
+        if (live_ != 0 || fired_ != 0 || nextSeq_ != 1)
+            throw std::logic_error(
+                "EventQueue::restore: queue is not fresh");
+        now_ = now;
+        fired_ = fired;
+    }
 
     /** @name Slab/tier introspection (memory-bound regression tests) @{ */
     /** Slots ever allocated (bounds callback storage). */

@@ -76,6 +76,16 @@ class Rng
     /** Bernoulli draw with probability @p p of true. */
     bool chance(double p) { return uniform() < p; }
 
+    /** @name Stream-position equality (DeviceImage fork tests) @{ */
+    friend bool
+    operator==(const Rng &a, const Rng &b)
+    {
+        return a.state_[0] == b.state_[0] && a.state_[1] == b.state_[1] &&
+            a.state_[2] == b.state_[2] && a.state_[3] == b.state_[3];
+    }
+    friend bool operator!=(const Rng &a, const Rng &b) { return !(a == b); }
+    /** @} */
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

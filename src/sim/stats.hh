@@ -145,6 +145,29 @@ class StatSet
     /** Render all counters as "name value" lines (for debugging). */
     std::string dump() const;
 
+    /**
+     * Overwrite this set's contents with @p src's (DeviceImage
+     * restore). Plain assignment would discard the map nodes that
+     * subsystems cached raw Counter pointers into at construction,
+     * so instead every existing entry is zeroed in place and the
+     * source values are folded in through find-or-create lookups —
+     * addresses survive, entries absent from @p src reset to empty,
+     * and Histogram's sample-by-sample merge reproduces the running
+     * sum/min/max bit for bit.
+     */
+    void
+    restoreFrom(const StatSet &src)
+    {
+        for (auto &kv : counters_)
+            kv.second.reset();
+        for (auto &kv : hists_)
+            kv.second.clear();
+        for (const auto &kv : src.counters_)
+            counters_[kv.first].inc(kv.second.value());
+        for (const auto &kv : src.hists_)
+            hists_[kv.first].merge(kv.second);
+    }
+
   private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, Histogram> hists_;

@@ -33,6 +33,11 @@
  *        aging sweep, warm phase replayed per cell vs forked from
  *        per-age DeviceImages — simulated digests byte-identical,
  *        the wall ratio is the steady-state speedup.
+ *      - fleet-4x4: a four-device cluster cell per placement policy
+ *        (round-robin / random / least-backlog / affinity), two
+ *        skewed tenants at 2x the calibrated fleet service rate —
+ *        the per-job routing loop src/cluster adds on top of the
+ *        device kernel.
  *    Microbenches and scenarios run --repeat times (default 3);
  *    wall-clock minimum and mean are recorded, events/sec uses the
  *    minimum, so the numbers reflect the warmed steady state a sweep
@@ -54,6 +59,7 @@
 #include <deque>
 
 #include "bench/common.hh"
+#include "src/cluster/placement.hh"
 #include "src/sim/event_queue.hh"
 
 namespace
@@ -62,6 +68,8 @@ namespace
 using namespace conduit;
 using namespace conduit::bench;
 using conduit::runner::AgingRunSpec;
+using conduit::runner::ClusterRunSpec;
+using conduit::runner::ClusterTenant;
 using conduit::runner::LoadRunSpec;
 using conduit::runner::MultiRunSpec;
 using conduit::runner::SweepPerf;
@@ -417,6 +425,65 @@ scenarioAging(SweepRunner &runner, const SweepCli &cli, int repeat,
     return r;
 }
 
+/**
+ * Fleet routing on top of the device kernel: one four-device
+ * cluster cell per placement policy, two skewed tenants (AES 3 :
+ * jacobi-1d 1) offered at 2x the calibrated aggregate service rate.
+ * The digest is each policy's fleet makespan — routing decisions
+ * feed device state feed later routing, so any cluster-layer drift
+ * shows up here.
+ */
+ScenarioResult
+scenarioFleet(SweepRunner &runner, const SweepCli &cli, int repeat)
+{
+    ScenarioResult r;
+    r.name = "fleet-4x4";
+
+    // Calibrate on an isolated job, like the saturation scenario:
+    // the fleet's aggregate service rate is devices x the isolated
+    // rate, and 2x that keeps every policy routing under pressure.
+    LoadRunSpec calib;
+    calib.workloadId = WorkloadId::Aes;
+    calib.technique = "Conduit";
+    calib.params.scale = cli.scale;
+    calib.jobs = 1;
+    const DeviceSnapshot one = runner.runLoad(calib);
+    const double iso =
+        1.0 / std::max(1e-9, ticksToSeconds(one.makespan));
+
+    std::vector<ClusterRunSpec> cells;
+    for (const std::string &placement : cluster::placementNames()) {
+        ClusterRunSpec cell;
+        cell.label = "fleet4/" + placement;
+        cell.placement = placement;
+        cell.params.scale = cli.scale;
+        cell.devices = 4;
+        cell.jobs = 24;
+        cell.jobsPerSec = 2.0 * 4.0 * iso;
+        cell.arrivals = ArrivalKind::Poisson;
+        cell.arrivalSeed = 1;
+        ClusterTenant heavy;
+        heavy.workloadId = WorkloadId::Aes;
+        heavy.weight = 3.0;
+        ClusterTenant light;
+        light.workloadId = WorkloadId::Jacobi1d;
+        light.weight = 1.0;
+        cell.tenants = {heavy, light};
+        cells.push_back(std::move(cell));
+    }
+
+    std::vector<cluster::ClusterSnapshot> snaps;
+    for (int rep = 0; rep < repeat; ++rep) {
+        snaps = runner.runClusterAll(cells);
+        fold(r, runner.lastPerf(), rep);
+    }
+    r.wallMean /= repeat;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        r.digest.push_back(
+            digestLine(cells[i].placement, snaps[i].makespan));
+    return r;
+}
+
 bool
 writeJson(const std::string &path, const SweepCli &cli, int repeat,
           unsigned threads, const std::vector<MicroResult> &micro,
@@ -511,7 +578,7 @@ main(int argc, char **argv)
 
     static const std::vector<std::string> kScenarios = {
         "fig07a-reduced", "multi-tenant-8", "open-loop-saturation",
-        "aging-cold", "aging-fork"};
+        "aging-cold", "aging-fork", "fleet-4x4"};
     if (cli.listWorkloads)
         runner::listAndExit(kScenarios);
     if (cli.listTechniques)
@@ -582,6 +649,8 @@ main(int argc, char **argv)
     if (want("aging-fork"))
         scenarios.push_back(
             scenarioAging(runner, cli, repeat, /*fork=*/true));
+    if (want("fleet-4x4"))
+        scenarios.push_back(scenarioFleet(runner, cli, repeat));
 
     for (const ScenarioResult &s : scenarios) {
         std::printf("%s (%zu cells, %llu simulated events)\n",

@@ -1,0 +1,148 @@
+#include "src/cluster/placement.hh"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/sim/rng.hh"
+
+namespace conduit::cluster
+{
+
+namespace
+{
+
+/** Cycles the fleet in submission order, blind to device state. */
+class RoundRobinPlacement final : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "round-robin"; }
+
+    std::size_t
+    place(const JobView &, const std::vector<DeviceProbe> &probes)
+        override
+    {
+        return next_++ % probes.size();
+    }
+
+  private:
+    std::size_t next_ = 0;
+};
+
+/** Uniform seeded choice (the classic randomized load balancer). */
+class RandomPlacement final : public PlacementPolicy
+{
+  public:
+    explicit RandomPlacement(std::uint64_t seed) : rng_(seed) {}
+
+    const char *name() const override { return "random"; }
+
+    std::size_t
+    place(const JobView &, const std::vector<DeviceProbe> &probes)
+        override
+    {
+        return static_cast<std::size_t>(rng_.below(probes.size()));
+    }
+
+  private:
+    Rng rng_;
+};
+
+/**
+ * Least-backlog index at @p probes: fewest pending jobs, then fewest
+ * admitted pages, then the lowest device index — a total order, so
+ * ties never depend on anything but the probes themselves.
+ */
+std::size_t
+leastBacklog(const std::vector<DeviceProbe> &probes)
+{
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < probes.size(); ++d) {
+        const DeviceProbe &p = probes[d];
+        const DeviceProbe &b = probes[best];
+        if (p.pendingJobs < b.pendingJobs ||
+            (p.pendingJobs == b.pendingJobs &&
+             p.admittedPages < b.admittedPages))
+            best = d;
+    }
+    return best;
+}
+
+/** Joins the shortest queue at each arrival tick. */
+class LeastBacklogPlacement final : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "least-backlog"; }
+    bool needsProbes() const override { return true; }
+
+    std::size_t
+    place(const JobView &, const std::vector<DeviceProbe> &probes)
+        override
+    {
+        return leastBacklog(probes);
+    }
+};
+
+/**
+ * Tenant-sticky with backlog spill: each tenant gets a home device
+ * (first placement joins the shortest queue) and keeps it — warm FTL
+ * mappings, staging, and latch state stay tenant-local — unless the
+ * home's pending backlog exceeds the fleet minimum by more than
+ * kSpillMargin jobs, in which case the job spills to the shortest
+ * queue (without moving the tenant's home).
+ */
+class AffinityPlacement final : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "affinity"; }
+    bool needsProbes() const override { return true; }
+
+    std::size_t
+    place(const JobView &job, const std::vector<DeviceProbe> &probes)
+        override
+    {
+        const auto it = home_.find(job.tenant);
+        if (it == home_.end()) {
+            const std::size_t h = leastBacklog(probes);
+            home_.emplace(job.tenant, h);
+            return h;
+        }
+        const std::size_t h = it->second;
+        const std::size_t least = leastBacklog(probes);
+        if (probes[h].pendingJobs >
+            probes[least].pendingJobs + kSpillMargin)
+            return least;
+        return h;
+    }
+
+  private:
+    /** Backlog lead (jobs) the home may hold before spilling. */
+    static constexpr std::size_t kSpillMargin = 4;
+
+    std::unordered_map<std::size_t, std::size_t> home_;
+};
+
+} // namespace
+
+std::unique_ptr<PlacementPolicy>
+makePlacement(const std::string &name, std::uint64_t seed)
+{
+    if (name == "round-robin")
+        return std::make_unique<RoundRobinPlacement>();
+    if (name == "random")
+        return std::make_unique<RandomPlacement>(seed);
+    if (name == "least-backlog")
+        return std::make_unique<LeastBacklogPlacement>();
+    if (name == "affinity")
+        return std::make_unique<AffinityPlacement>();
+    throw std::invalid_argument("unknown placement policy: " + name);
+}
+
+const std::vector<std::string> &
+placementNames()
+{
+    static const std::vector<std::string> names = {
+        "round-robin", "random", "least-backlog", "affinity"};
+    return names;
+}
+
+} // namespace conduit::cluster

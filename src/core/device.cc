@@ -359,6 +359,27 @@ Device::drain()
     return snap;
 }
 
+void
+Device::advanceTo(Tick t)
+{
+    ensureSession();
+    engine_.sessionQueue().run(t);
+}
+
+DeviceProbe
+Device::probe() const
+{
+    DeviceProbe p;
+    p.now = now();
+    p.pendingJobs = unfinishedJobs();
+    p.waitingJobs = waiting_.size();
+    p.admittedPages = regions_.inUse();
+    p.capacityPages = regions_.capacity();
+    if (session_)
+        p.dieBusyFraction = engine_.busyDieFraction(p.now);
+    return p;
+}
+
 Tick
 Device::now() const
 {

@@ -204,6 +204,34 @@ struct JobResult
     Tick sojourn() const { return end > arrival ? end - arrival : 0; }
 };
 
+/**
+ * Host-visible utilization probe of a device at its current tick —
+ * the backlog state a fleet placement policy (src/cluster) may
+ * observe when routing a job, and nothing more. Taking a probe is
+ * cheap and side-effect free: counters the device already tracks
+ * plus one read of the NAND die calendars.
+ */
+struct DeviceProbe
+{
+    /** Device clock the probe was taken at. */
+    Tick now = 0;
+
+    /** Jobs submitted but not yet retired (queued + in service). */
+    std::size_t pendingJobs = 0;
+
+    /** Jobs queued for admission capacity (subset of pending). */
+    std::size_t waitingJobs = 0;
+
+    /** Logical pages held by admitted jobs. */
+    std::uint64_t admittedPages = 0;
+
+    /** Logical-page pool size (0 before the session starts). */
+    std::uint64_t capacityPages = 0;
+
+    /** Fraction of NAND dies with sensing backlog at @ref now. */
+    double dieBusyFraction = 0.0;
+};
+
 /** drain()'s view of the device: every retired job plus aggregates. */
 struct DeviceSnapshot
 {
@@ -332,6 +360,22 @@ class Device
     {
         return Device(img);
     }
+
+    /**
+     * Advance the simulation through every event at tick <= @p t
+     * (arrivals, dispatches, completions, eager retirements). The
+     * fleet layer uses this to bring a device to a job's arrival
+     * tick before probing it; jobs submitted afterwards still arrive
+     * at their requested tick (>= t by open-loop construction).
+     */
+    void advanceTo(Tick t);
+
+    /**
+     * Host-visible utilization probe at the device's current tick.
+     * Const and side-effect free — callers wanting "state at tick t"
+     * advanceTo(t) first.
+     */
+    DeviceProbe probe() const;
 
     /** Current simulated time of the device. */
     Tick now() const;

@@ -829,6 +829,19 @@ Engine::sessionBegin(std::uint64_t capacity_pages,
     scrubScheduled_ = false;
 }
 
+double
+Engine::busyDieFraction(Tick now) const
+{
+    const std::uint32_t dies = nand_.numDies();
+    if (dies == 0)
+        return 0.0;
+    std::uint32_t busy = 0;
+    for (std::uint32_t d = 0; d < dies; ++d)
+        if (nand_.dieBacklog(d, now) > 0)
+            ++busy;
+    return static_cast<double>(busy) / static_cast<double>(dies);
+}
+
 void
 Engine::maybeScheduleScrub(Tick now)
 {
@@ -868,6 +881,21 @@ Engine::runScrubPass()
                 rel_->noteRefresh();
             if (++refreshed >= cfg_.reliability.scrubMaxRefreshPerPass)
                 break;
+        }
+    }
+    // Wear-leveling rides the same pass budget: while the pool's
+    // erase-count spread exceeds the gap, migrate the coldest full
+    // block so its young erases rejoin the allocator's rotation.
+    if (cfg_.reliability.wearLevelEnabled) {
+        for (std::uint32_t m = 0;
+             m < cfg_.reliability.wearLevelMaxPerPass; ++m) {
+            const std::int64_t bi =
+                ftl_.wearLevelCandidate(cfg_.reliability.wearLevelGap);
+            if (bi < 0)
+                break;
+            if (!ftl_.scrubBlock(static_cast<std::uint64_t>(bi), now))
+                break;
+            rel_->noteLevelMigration();
         }
     }
     // No self-rescheduling: the next dispatch re-arms the task, so

@@ -180,6 +180,14 @@ class Engine : public sched::StreamDispatcher
         return rel_.get();
     }
 
+    /**
+     * Fraction of NAND dies with outstanding sensing backlog at
+     * @p now — the device-utilization component of the host-visible
+     * placement probe (Device::probe). A pure read of the die
+     * calendars: no event is scheduled and no state changes.
+     */
+    double busyDieFraction(Tick now) const;
+
   private:
     /** Where the freshest copy of a logical page lives. */
     enum class Loc : std::uint8_t { Flash, Latch, Dram };

@@ -323,6 +323,32 @@ Ftl::scrubBlock(std::uint64_t block, Tick now)
     return collectBlock(block, now, /*scrub=*/true);
 }
 
+std::int64_t
+Ftl::wearLevelCandidate(std::uint32_t gap) const
+{
+    const NandConfig &n = cfg_.nand;
+    std::uint64_t coldest = ~0ULL;
+    std::uint32_t maxErase = 0;
+    for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+        const BlockState &bs = blocks_[b];
+        if (bs.bad)
+            continue;
+        maxErase = std::max(maxErase, bs.eraseCount);
+        // Eligibility mirrors scrubBlock: only a full, closed,
+        // non-collecting block can be refreshed under itself.
+        if (bs.free || bs.collecting ||
+            bs.writePtr < n.pagesPerBlock || isOpenBlock(b))
+            continue;
+        if (coldest == ~0ULL ||
+            bs.eraseCount < blocks_[coldest].eraseCount)
+            coldest = b;
+    }
+    if (coldest == ~0ULL ||
+        maxErase - blocks_[coldest].eraseCount <= gap)
+        return -1;
+    return static_cast<std::int64_t>(coldest);
+}
+
 bool
 Ftl::collectPlane(std::uint64_t plane_slot, Tick now)
 {

@@ -65,6 +65,19 @@ class Ftl
      */
     bool scrubBlock(std::uint64_t block, Tick now);
 
+    /**
+     * Background wear-leveling candidate: the lowest-erase-count
+     * full, closed, non-retired block, provided its erase count
+     * trails the pool's hottest block by more than @p gap. Cold
+     * data sits in exactly these blocks — refreshing one
+     * (scrubBlock) migrates the cold pages and returns the young
+     * block to write service. Ties break on the lowest block index,
+     * so the scan is deterministic.
+     * @return The block index, or -1 when the pool is level enough
+     *         (or no eligible block exists).
+     */
+    std::int64_t wearLevelCandidate(std::uint32_t gap) const;
+
     /** Result of an L2P lookup. */
     struct Lookup
     {

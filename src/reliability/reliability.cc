@@ -135,6 +135,12 @@ ReliabilityModel::noteRefresh()
         statScrubRefreshes_->inc();
 }
 
+void
+ReliabilityModel::noteLevelMigration()
+{
+    ++stats_.wearLevelMigrations;
+}
+
 Tick
 ReliabilityModel::typicalReadPenalty(Tick now) const
 {

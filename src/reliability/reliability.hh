@@ -67,6 +67,9 @@ struct ReliabilityStats
 
     /** Blocks the scrubber refreshed (migrated + erased). */
     std::uint64_t scrubRefreshes = 0;
+
+    /** Cold blocks the wear-leveler migrated out of low wear. */
+    std::uint64_t wearLevelMigrations = 0;
 };
 
 /** The device's aging state and reliability decision logic. */
@@ -113,6 +116,7 @@ class ReliabilityModel
 
     void notePass();
     void noteRefresh();
+    void noteLevelMigration();
     /** @} */
 
     /** Current error rate of @p block. */

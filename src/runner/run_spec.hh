@@ -277,6 +277,116 @@ struct AgingRunSpec
 };
 
 /**
+ * One tenant of a fleet cell: who is offering jobs to the cluster.
+ * Each tenant is an independent open-loop arrival stream; the fleet
+ * merges the streams in arrival order and the placement policy picks
+ * a device per job.
+ */
+struct ClusterTenant
+{
+    /** Tenant label for reporting (defaults to the workload name). */
+    std::string name;
+
+    /** Workload every job of this tenant executes. */
+    std::optional<WorkloadId> workloadId;
+
+    /** Pre-compiled program overriding @ref workloadId. */
+    std::shared_ptr<const Program> program;
+
+    /** Policy the tenant's jobs run under (via makePolicy). */
+    std::string technique = "Conduit";
+
+    /**
+     * Per-job latency objective in milliseconds; a job attains its
+     * SLO when (end - arrival) <= sloMs. 0 disables attainment
+     * accounting for this tenant (reported as 1.0).
+     */
+    double sloMs = 0.0;
+
+    /**
+     * Relative share of the offered load (jobs and rate split
+     * proportionally across tenants; weights need not sum to 1).
+     */
+    double weight = 1.0;
+};
+
+/**
+ * One fleet cell: N devices behind a placement policy, serving the
+ * merged open-loop job streams of the tenants. The whole cell is one
+ * sequential deterministic simulation — arrivals, routing decisions,
+ * and per-device execution included — so a grid of fleet cells
+ * sweeps across worker threads exactly like every other cell shape.
+ */
+struct ClusterRunSpec
+{
+    /** Cell label for reporting (e.g. "fleet4/least-backlog"). */
+    std::string label;
+
+    /** Placement policy name (resolved via cluster::makePlacement). */
+    std::string placement = "round-robin";
+
+    /** Seed for randomized placement policies. */
+    std::uint64_t placementSeed = 1;
+
+    /** Device configuration shared by the fleet. */
+    SsdConfig config = defaultSweepConfig();
+
+    /** Engine options (device-wide). */
+    EngineOptions engine;
+
+    /** Workload-generator knobs shared by the tenants. */
+    WorkloadParams params;
+
+    /** The tenants offering jobs, in reporting order. */
+    std::vector<ClusterTenant> tenants;
+
+    /** Fleet size (devices). */
+    std::size_t devices = 1;
+
+    /**
+     * Device ages, in P/E cycles, assigned round-robin across the
+     * fleet (device d gets ageMix[d % ageMix.size()]). Empty — or
+     * all zero — runs a fresh fleet. Non-zero rungs enable the
+     * reliability subsystem on those devices and pre-warm them via
+     * shared per-rung DeviceImages (one image per distinct recipe).
+     */
+    std::vector<std::uint32_t> ageMix;
+
+    /** Retention age applied with pre-wear: days per 1000 cycles. */
+    double retentionDaysPerKCycle = 0.0;
+
+    /** Jobs offered fleet-wide over the cell's lifetime. */
+    std::size_t jobs = 64;
+
+    /**
+     * Offered fleet-wide load in jobs per simulated second. 0
+     * submits every job at tick 0.
+     */
+    double jobsPerSec = 0.0;
+
+    /** Arrival-process family (per tenant stream). */
+    ArrivalKind arrivals = ArrivalKind::Poisson;
+
+    /** Base seed for the randomized arrival processes (tenant t
+     *  offsets it by t so streams are independent). */
+    std::uint64_t arrivalSeed = 1;
+
+    /** Per-device logical-page pool; 0 auto-sizes per device. */
+    std::uint64_t capacityPages = 0;
+
+    /**
+     * Warm-traffic jobs per device before the measured phase (0 =
+     * cold fleet). Warm devices are forked from shared DeviceImages
+     * (one per distinct warm recipe — age rung included), so a sweep
+     * builds each image once no matter how many cells share it.
+     */
+    std::size_t warmupJobs = 0;
+
+    /** Policy the warm traffic runs under (fixed per image). */
+    std::string warmupTechnique = "Conduit";
+};
+
+/**
  * Builder crossing workload and technique axes into RunSpecs.
  *
  * Axis order is preserved: build() emits workload-major rows in the

@@ -437,6 +437,211 @@ writeAgingJsonFile(const std::string &path,
     return static_cast<bool>(os);
 }
 
+namespace
+{
+
+std::vector<Field>
+clusterRowFields(const ClusterRow &r)
+{
+    return {
+        {"label", r.label, true},
+        {"placement", r.placement, true},
+        {"devices", std::to_string(r.devices), false},
+        {"tenant", r.tenant, true},
+        {"jobs_per_sec", fmtDouble(r.jobsPerSec), false},
+        {"jobs", std::to_string(r.jobs), false},
+        {"makespan_ms", fmtDouble(r.makespanMs), false},
+        {"throughput_jobs_per_sec",
+         fmtDouble(r.throughputJobsPerSec), false},
+        {"mean_sojourn_ms", fmtDouble(r.meanSojournMs), false},
+        {"latency_p50_us", fmtDouble(r.p50Us), false},
+        {"latency_p99_us", fmtDouble(r.p99Us), false},
+        {"latency_p9999_us", fmtDouble(r.p9999Us), false},
+        {"sojourn_p99_ms", fmtDouble(r.sojournP99Ms), false},
+        {"slo_ms", fmtDouble(r.sloMs), false},
+        {"slo_attainment", fmtDouble(r.sloAttainment), false},
+        {"util_mean", fmtDouble(r.utilMean), false},
+        {"util_max", fmtDouble(r.utilMax), false},
+        {"imbalance", fmtDouble(r.imbalance), false},
+    };
+}
+
+/** Nearest-rank percentile of an unsorted sample (copies & sorts). */
+double
+nearestRank(std::vector<double> xs, double pct)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const double rank =
+        std::ceil(pct / 100.0 * static_cast<double>(xs.size()));
+    const std::size_t idx = rank < 1.0
+        ? 0
+        : std::min(xs.size() - 1, static_cast<std::size_t>(rank) - 1);
+    return xs[idx];
+}
+
+} // namespace
+
+std::vector<ClusterRow>
+makeClusterRows(const ClusterRunSpec &spec,
+                const cluster::ClusterSnapshot &snap)
+{
+    using cluster::RoutedJob;
+
+    // Warm traffic lives in the per-device histories (forked from
+    // the warm images); snap.routed holds exactly the measured jobs,
+    // so every reduction below is over the routed record.
+    Tick maxEnd = snap.base;
+    for (std::size_t r = 0; r < snap.routed.size(); ++r)
+        maxEnd = std::max(maxEnd, snap.result(r).end);
+    const Tick span = maxEnd - snap.base;
+    const double spanSec = ticksToSeconds(span);
+
+    ClusterRow proto;
+    proto.label = spec.label;
+    proto.placement = spec.placement;
+    proto.devices = snap.devices.size();
+    proto.makespanMs = ticksToUs(span) / 1000.0;
+
+    // Fleet-level balance: per-device job residency and routed-job
+    // counts over the measured span.
+    std::vector<double> residency(snap.devices.size(), 0.0);
+    std::vector<std::uint64_t> perDev(snap.devices.size(), 0);
+    for (std::size_t r = 0; r < snap.routed.size(); ++r) {
+        const RoutedJob &j = snap.routed[r];
+        const JobResult &jr = snap.result(r);
+        const Tick busy =
+            jr.end > jr.admitted ? jr.end - jr.admitted : 0;
+        residency[j.device] += ticksToSeconds(busy);
+        ++perDev[j.device];
+    }
+    std::uint64_t maxRouted = 0;
+    for (std::size_t d = 0; d < perDev.size(); ++d) {
+        maxRouted = std::max(maxRouted, perDev[d]);
+        const double util =
+            spanSec > 0.0 ? residency[d] / spanSec : 0.0;
+        proto.utilMean += util;
+        proto.utilMax = std::max(proto.utilMax, util);
+    }
+    proto.utilMean /= static_cast<double>(snap.devices.size());
+    proto.imbalance = snap.routed.empty()
+        ? 0.0
+        : static_cast<double>(snap.devices.size()) *
+            static_cast<double>(maxRouted) /
+            static_cast<double>(snap.routed.size());
+
+    // Per-scope reductions: index 0 is the fleet, 1.. the tenants.
+    const std::size_t scopes = 1 + spec.tenants.size();
+    std::vector<ClusterRow> rows(scopes, proto);
+    std::vector<Histogram> lat(scopes);
+    std::vector<std::vector<double>> sojournsMs(scopes);
+    std::vector<double> sojournSum(scopes, 0.0);
+    std::vector<std::uint64_t> attained(scopes, 0);
+
+    for (std::size_t r = 0; r < snap.routed.size(); ++r) {
+        const RoutedJob &j = snap.routed[r];
+        const JobResult &jr = snap.result(r);
+        const double sojournMs = ticksToUs(jr.sojourn()) / 1000.0;
+        const double sloMs = j.tenant < spec.tenants.size()
+            ? spec.tenants[j.tenant].sloMs
+            : 0.0;
+        const bool ok = sloMs <= 0.0 || sojournMs <= sloMs;
+        const std::size_t scope = 1 + j.tenant;
+        for (std::size_t s : {std::size_t{0}, scope}) {
+            if (s >= scopes)
+                continue;
+            ++rows[s].jobs;
+            lat[s].merge(jr.result.latencyUs);
+            sojournsMs[s].push_back(sojournMs);
+            sojournSum[s] += sojournMs;
+            if (ok)
+                ++attained[s];
+        }
+    }
+
+    double weightSum = 0.0;
+    for (const ClusterTenant &t : spec.tenants)
+        weightSum += t.weight;
+
+    for (std::size_t s = 0; s < scopes; ++s) {
+        ClusterRow &row = rows[s];
+        if (s == 0) {
+            row.tenant = "fleet";
+            row.jobsPerSec = spec.jobsPerSec;
+        } else {
+            const ClusterTenant &t = spec.tenants[s - 1];
+            row.tenant = !t.name.empty() ? t.name
+                : t.workloadId           ? workloadName(*t.workloadId)
+                : t.program              ? t.program->name
+                                         : std::string();
+            row.jobsPerSec = weightSum > 0.0
+                ? spec.jobsPerSec * t.weight / weightSum
+                : 0.0;
+            row.sloMs = t.sloMs;
+        }
+        row.throughputJobsPerSec = spanSec > 0.0
+            ? static_cast<double>(row.jobs) / spanSec
+            : 0.0;
+        row.meanSojournMs = row.jobs == 0
+            ? 0.0
+            : sojournSum[s] / static_cast<double>(row.jobs);
+        row.p50Us = lat[s].count() ? lat[s].percentile(50) : 0.0;
+        row.p99Us = lat[s].count() ? lat[s].percentile(99) : 0.0;
+        row.p9999Us =
+            lat[s].count() ? lat[s].percentile(99.99) : 0.0;
+        row.sojournP99Ms = nearestRank(sojournsMs[s], 99.0);
+        row.sloAttainment = row.jobs == 0
+            ? 1.0
+            : static_cast<double>(attained[s]) /
+                static_cast<double>(row.jobs);
+    }
+    return rows;
+}
+
+void
+writeClusterCsv(std::ostream &os, const std::vector<ClusterRow> &rows)
+{
+    std::vector<std::vector<Field>> fields;
+    fields.reserve(rows.size());
+    for (const ClusterRow &row : rows)
+        fields.push_back(clusterRowFields(row));
+    writeFieldCsv(os, fields);
+}
+
+void
+writeClusterJson(std::ostream &os,
+                 const std::vector<ClusterRow> &rows)
+{
+    std::vector<std::vector<Field>> fields;
+    fields.reserve(rows.size());
+    for (const ClusterRow &row : rows)
+        fields.push_back(clusterRowFields(row));
+    writeFieldJson(os, fields);
+}
+
+bool
+writeClusterCsvFile(const std::string &path,
+                    const std::vector<ClusterRow> &rows)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeClusterCsv(os, rows);
+    return static_cast<bool>(os);
+}
+
+bool
+writeClusterJsonFile(const std::string &path,
+                     const std::vector<ClusterRow> &rows)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeClusterJson(os, rows);
+    return static_cast<bool>(os);
+}
+
 double
 gmean(const std::vector<double> &xs)
 {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/cluster.hh"
 #include "src/core/device.hh"
 #include "src/runner/run_spec.hh"
 
@@ -158,6 +159,88 @@ bool writeAgingCsvFile(const std::string &path,
                        const std::vector<AgingRow> &rows);
 bool writeAgingJsonFile(const std::string &path,
                         const std::vector<AgingRow> &rows);
+/** @} */
+
+/**
+ * One emitted row of a fleet sweep. A cell emits one "fleet" row
+ * (fleet-wide throughput, tails, utilization spread, imbalance)
+ * followed by one row per tenant (its share of the load, its tail,
+ * its SLO attainment). Fleet-level columns repeat on tenant rows so
+ * every row is self-describing.
+ */
+struct ClusterRow
+{
+    /** Cell label (ClusterRunSpec::label). */
+    std::string label;
+
+    /** Placement policy the cell routed with. */
+    std::string placement;
+
+    /** Fleet size (devices). */
+    std::size_t devices = 0;
+
+    /** "fleet" for the aggregate row, else the tenant's name. */
+    std::string tenant;
+
+    /** Offered load for this row's scope (jobs per simulated sec). */
+    double jobsPerSec = 0.0;
+
+    /** Jobs this row's scope completed (measured phase only). */
+    std::uint64_t jobs = 0;
+
+    /** Fleet measured span (first arrival epoch to last job end). */
+    double makespanMs = 0.0;
+
+    /** Achieved completion rate for this row's scope. */
+    double throughputJobsPerSec = 0.0;
+
+    /** Mean job arrival-to-completion time for this row's scope. */
+    double meanSojournMs = 0.0;
+
+    /** Per-request (instruction) latency tail for this scope. */
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p9999Us = 0.0;
+
+    /** Job-sojourn tail for this scope (SLOs are sojourn-based). */
+    double sojournP99Ms = 0.0;
+
+    /** Tenant SLO (ms); 0 on the fleet row and SLO-less tenants. */
+    double sloMs = 0.0;
+
+    /** Fraction of jobs meeting their SLO (1.0 when none is set;
+     *  the fleet row weights tenants by completed jobs). */
+    double sloAttainment = 1.0;
+
+    /** @name Fleet-level balance (same values on every row) @{ */
+
+    /** Mean/max per-device occupancy: sum of per-job residency
+     *  (end - admitted) over the measured span. */
+    double utilMean = 0.0;
+    double utilMax = 0.0;
+
+    /** Routing imbalance: devices * max routed / total routed
+     *  (1.0 = perfectly even). */
+    double imbalance = 0.0;
+
+    /** @} */
+};
+
+/** Reduce an executed fleet cell to its rows (fleet + tenants). */
+std::vector<ClusterRow>
+makeClusterRows(const ClusterRunSpec &spec,
+                const cluster::ClusterSnapshot &snap);
+
+/** @name Fleet row emission (byte-identical for identical specs,
+ *  any thread count) @{ */
+void writeClusterCsv(std::ostream &os,
+                     const std::vector<ClusterRow> &rows);
+void writeClusterJson(std::ostream &os,
+                      const std::vector<ClusterRow> &rows);
+bool writeClusterCsvFile(const std::string &path,
+                         const std::vector<ClusterRow> &rows);
+bool writeClusterJsonFile(const std::string &path,
+                          const std::vector<ClusterRow> &rows);
 /** @} */
 
 /** Geometric mean of a vector of ratios (0 if empty). */

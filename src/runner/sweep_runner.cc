@@ -184,12 +184,12 @@ submitLoadJobs(Device &dev, const LoadRunSpec &spec,
 std::string
 warmImageKey(const LoadRunSpec &spec)
 {
-    char buf[320];
+    char buf[448];
     std::snprintf(
         buf, sizeof buf,
         "|p%p|i%d|w%zu|r%.17g|a%d|as%llu|cap%llu|sc%.17g"
         "|sd%llu|mc%.17g|gc%.17g|ds%.17g|mf%.17g"
-        "|re%d|pw%lu|rd%.17g",
+        "|re%d|pw%lu|rd%.17g|wl%d|wg%lu|wm%lu",
         static_cast<const void *>(spec.program.get()),
         spec.workloadId ? static_cast<int>(*spec.workloadId) : -1,
         spec.warmupJobs, spec.jobsPerSec,
@@ -204,8 +204,73 @@ warmImageKey(const LoadRunSpec &spec)
         spec.config.reliability.enabled ? 1 : 0,
         static_cast<unsigned long>(
             spec.config.reliability.preWearCycles),
-        spec.config.reliability.retentionDays);
+        spec.config.reliability.retentionDays,
+        spec.config.reliability.wearLevelEnabled ? 1 : 0,
+        static_cast<unsigned long>(spec.config.reliability.wearLevelGap),
+        static_cast<unsigned long>(
+            spec.config.reliability.wearLevelMaxPerPass));
     return spec.workload + "/" + spec.warmupTechnique + buf;
+}
+
+/** Age rung of fleet device @p d (ageMix cycles round-robin). */
+std::uint32_t
+clusterRung(const ClusterRunSpec &spec, std::size_t d)
+{
+    return spec.ageMix.empty()
+        ? 0u
+        : spec.ageMix[d % spec.ageMix.size()];
+}
+
+/**
+ * Per-device recipe of a fleet cell: the offered-load spec one
+ * device of the fleet would see — the first tenant's workload as
+ * warm traffic at the per-device share of the fleet rate, with the
+ * age rung folded into the reliability config. Equal recipes hash to
+ * equal warmImageKeys, so a fleet of one age rung forks one image.
+ */
+LoadRunSpec
+clusterDeviceRecipe(const ClusterRunSpec &spec, std::uint32_t rung)
+{
+    const ClusterTenant &t0 = spec.tenants.front();
+    LoadRunSpec r;
+    r.workload = !t0.name.empty() ? t0.name
+        : t0.workloadId           ? workloadName(*t0.workloadId)
+        : t0.program              ? t0.program->name
+                                  : std::string();
+    r.technique = spec.warmupTechnique;
+    r.config = spec.config;
+    r.engine = spec.engine;
+    r.params = spec.params;
+    r.workloadId = t0.workloadId;
+    r.program = t0.program;
+    r.jobsPerSec =
+        spec.jobsPerSec / static_cast<double>(spec.devices);
+    r.arrivals = spec.arrivals;
+    r.arrivalSeed = spec.arrivalSeed;
+    r.capacityPages = spec.capacityPages;
+    r.warmupJobs = spec.warmupJobs;
+    r.warmupTechnique = spec.warmupTechnique;
+    r.steadyState = spec.warmupJobs > 0;
+    if (rung > 0) {
+        r.config.reliability.enabled = true;
+        r.config.reliability.preWearCycles = rung;
+        r.config.reliability.retentionDays =
+            spec.retentionDaysPerKCycle * rung / 1000.0;
+    }
+    return r;
+}
+
+/** Attribution label of a fleet cell. */
+std::string
+clusterCellLabel(const ClusterRunSpec &spec)
+{
+    if (!spec.label.empty())
+        return spec.label;
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "fleet%zu/%s@%gjobs/s",
+                  spec.devices, spec.placement.c_str(),
+                  spec.jobsPerSec);
+    return buf;
 }
 
 } // namespace
@@ -564,6 +629,217 @@ SweepRunner::runLoadAll(const std::vector<LoadRunSpec> &specs)
     for (const LoadRunSpec &spec : specs)
         labels.push_back(loadCellLabel(spec));
     return runLoadSweep(specs, labels);
+}
+
+cluster::ClusterSnapshot
+SweepRunner::runClusterCell(
+    const ClusterRunSpec &spec,
+    const std::vector<std::shared_ptr<const DeviceImage>> &images)
+{
+    if (spec.devices == 0)
+        throw std::invalid_argument(
+            "ClusterRunSpec: zero devices: " + spec.label);
+    if (spec.tenants.empty())
+        throw std::invalid_argument(
+            "ClusterRunSpec has no tenants: " + spec.label);
+    for (const ClusterTenant &t : spec.tenants)
+        if (t.technique == "CPU" || t.technique == "GPU")
+            throw std::invalid_argument(
+                "fleet cells run on the SSD engine; host baseline "
+                "'" + t.technique + "' cannot be a tenant: " +
+                spec.label);
+
+    // Resolve each tenant's program and display name once.
+    const std::size_t nt = spec.tenants.size();
+    std::vector<std::shared_ptr<const Program>> progs(nt);
+    std::vector<std::string> names(nt);
+    for (std::size_t t = 0; t < nt; ++t) {
+        const ClusterTenant &ten = spec.tenants[t];
+        LoadRunSpec slot;
+        slot.workload = ten.name;
+        slot.technique = ten.technique;
+        slot.workloadId = ten.workloadId;
+        slot.program = ten.program;
+        slot.params = spec.params;
+        slot.config = spec.config;
+        progs[t] = resolveLoadProgram(cache_, slot);
+        names[t] = !ten.name.empty() ? ten.name
+            : ten.workloadId ? workloadName(*ten.workloadId)
+                             : progs[t]->name;
+    }
+
+    // Merged arrival schedule: jobs split across tenants by weight
+    // (floor, then remainder round-robin), each tenant walking its
+    // own arrival process (seed offset by tenant index). Merge order
+    // is (arrival, per-tenant index, tenant) — a total order, so the
+    // stream is identical on every run, and a tick-0 burst (rate 0)
+    // interleaves tenants round-robin instead of tenant-major.
+    double weightSum = 0.0;
+    for (const ClusterTenant &t : spec.tenants)
+        weightSum += std::max(t.weight, 0.0);
+    std::vector<std::size_t> quota(nt, 0);
+    std::size_t assigned = 0;
+    for (std::size_t t = 0; t < nt; ++t) {
+        const double share = weightSum > 0.0
+            ? std::max(spec.tenants[t].weight, 0.0) / weightSum
+            : 1.0 / static_cast<double>(nt);
+        quota[t] = static_cast<std::size_t>(
+            static_cast<double>(spec.jobs) * share);
+        assigned += quota[t];
+    }
+    for (std::size_t t = 0; assigned < spec.jobs; t = (t + 1) % nt) {
+        ++quota[t];
+        ++assigned;
+    }
+
+    struct Slot
+    {
+        Tick at;
+        std::size_t idx;
+        std::size_t tenant;
+    };
+    std::vector<Slot> schedule;
+    schedule.reserve(spec.jobs);
+    for (std::size_t t = 0; t < nt; ++t) {
+        const double share = weightSum > 0.0
+            ? std::max(spec.tenants[t].weight, 0.0) / weightSum
+            : 1.0 / static_cast<double>(nt);
+        const double rate = spec.jobsPerSec * share;
+        std::unique_ptr<ArrivalProcess> arr;
+        if (rate > 0.0)
+            arr = makeArrivals(spec.arrivals,
+                               static_cast<double>(kPsPerS) / rate,
+                               spec.arrivalSeed + t);
+        Tick at = 0;
+        for (std::size_t i = 0; i < quota[t]; ++i) {
+            if (arr)
+                at += arr->next();
+            schedule.push_back({at, i, t});
+        }
+    }
+    std::sort(schedule.begin(), schedule.end(),
+              [](const Slot &a, const Slot &b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  if (a.idx != b.idx)
+                      return a.idx < b.idx;
+                  return a.tenant < b.tenant;
+              });
+
+    // Fleet construction: device d forks its shared warm image when
+    // one was built, else starts fresh from its age rung's recipe.
+    // Fresh devices default to a pool fitting every measured job at
+    // once — the fleet-wide footprint sum, which with one device is
+    // exactly the auto-size a bare Device computes (the probe path
+    // starts sessions before submissions, so auto-sizing can't see
+    // the jobs itself).
+    std::uint64_t defaultCap = spec.capacityPages;
+    if (defaultCap == 0)
+        for (std::size_t t = 0; t < nt; ++t)
+            defaultCap += static_cast<std::uint64_t>(quota[t]) *
+                progs[t]->footprintPages;
+    cluster::ClusterOptions copts;
+    copts.devices.resize(spec.devices);
+    for (std::size_t d = 0; d < spec.devices; ++d) {
+        if (d < images.size() && images[d]) {
+            copts.devices[d].image = images[d];
+            continue;
+        }
+        DeviceOptions dopts = loadDeviceOptions(
+            clusterDeviceRecipe(spec, clusterRung(spec, d)));
+        dopts.capacityPages = defaultCap;
+        copts.devices[d].options = std::move(dopts);
+    }
+    cluster::Cluster fleet(
+        std::move(copts),
+        cluster::makePlacement(spec.placement, spec.placementSeed));
+
+    for (const Slot &s : schedule) {
+        JobSpec job;
+        job.name = names[s.tenant];
+        job.program = progs[s.tenant];
+        // Fresh policy object per job (policies may carry state).
+        job.policyObj = std::shared_ptr<OffloadPolicy>(
+            makePolicy(spec.tenants[s.tenant].technique));
+        job.arrival = s.at;
+        fleet.submit(job, s.tenant);
+    }
+    return fleet.drain();
+}
+
+std::vector<cluster::ClusterSnapshot>
+SweepRunner::runClusterAll(const std::vector<ClusterRunSpec> &specs)
+{
+    const std::size_t n = specs.size();
+
+    // Phase 1: build each distinct warm device image once, in
+    // parallel. The dedup key is the per-device recipe — config, age
+    // rung, warm traffic — so it collapses equal rungs both within a
+    // fleet and across cells (a P-policies x R-rungs sweep builds R
+    // images, not P*R*devices).
+    std::vector<std::vector<std::shared_ptr<const DeviceImage>>>
+        cellImages(n);
+    double warmWall = 0.0;
+    std::size_t warmBuilt = 0;
+    {
+        std::unordered_map<std::string, std::size_t> slots;
+        std::vector<LoadRunSpec> recipes;
+        std::vector<std::vector<std::size_t>> slotOf(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            cellImages[i].assign(specs[i].devices, nullptr);
+            if (specs[i].warmupJobs == 0 || specs[i].devices == 0 ||
+                specs[i].tenants.empty())
+                continue;
+            slotOf[i].assign(specs[i].devices, 0);
+            for (std::size_t d = 0; d < specs[i].devices; ++d) {
+                LoadRunSpec recipe = clusterDeviceRecipe(
+                    specs[i], clusterRung(specs[i], d));
+                const auto [it, fresh] = slots.emplace(
+                    warmImageKey(recipe), recipes.size());
+                if (fresh)
+                    recipes.push_back(std::move(recipe));
+                slotOf[i][d] = it->second;
+            }
+        }
+        if (!recipes.empty()) {
+            std::vector<std::shared_ptr<const DeviceImage>> images(
+                recipes.size());
+            const auto w0 = std::chrono::steady_clock::now();
+            parallelFor(workerCount(recipes.size()), recipes.size(),
+                        [&](std::size_t j) {
+                            images[j] =
+                                std::make_shared<const DeviceImage>(
+                                    buildWarmImage(recipes[j]));
+                        });
+            warmWall = sinceSeconds(w0);
+            warmBuilt = recipes.size();
+            for (std::size_t i = 0; i < n; ++i)
+                for (std::size_t d = 0; d < slotOf[i].size(); ++d)
+                    cellImages[i][d] = images[slotOf[i][d]];
+        }
+    }
+
+    // Phase 2: the fleet cells, forking from the shared images.
+    std::vector<cluster::ClusterSnapshot> results(n);
+    timedSweep(n, [&] {
+        parallelFor(workerCount(n), n, [&](std::size_t i) {
+            const auto c0 = std::chrono::steady_clock::now();
+            results[i] = runClusterCell(specs[i], cellImages[i]);
+            recordCell(i, clusterCellLabel(specs[i]),
+                       sinceSeconds(c0), results[i].eventsFired);
+        });
+    });
+    perfWarmWall_ = warmWall;
+    perfWarmImages_ = warmBuilt;
+    return results;
+}
+
+cluster::ClusterSnapshot
+SweepRunner::runCluster(const ClusterRunSpec &spec)
+{
+    std::vector<cluster::ClusterSnapshot> snaps =
+        runClusterAll({spec});
+    return std::move(snaps.front());
 }
 
 SweepResult

@@ -18,13 +18,18 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/cluster.hh"
 #include "src/core/device.hh"
-#include "src/runner/program_cache.hh"
+#include "src/core/program_cache.hh"
 #include "src/runner/run_spec.hh"
 #include "src/runner/sweep_result.hh"
 
 namespace conduit::runner
 {
+
+/** The compile-once cache lives in src/core (PR 3); the runner-facing
+ *  name stays available so existing call sites keep reading. */
+using conduit::ProgramCache;
 
 /** Runner knobs. */
 struct SweepOptions
@@ -163,6 +168,25 @@ class SweepRunner
     runAgingAll(const std::vector<AgingRunSpec> &specs);
 
     /**
+     * Execute one fleet cell: a cluster::Cluster of spec.devices
+     * devices behind the spec's placement policy, serving the merged
+     * open-loop tenant streams. One sequential deterministic
+     * simulation — identical results on any thread count. Updates
+     * lastPerf() (a fleet cell is a one-cell sweep).
+     */
+    cluster::ClusterSnapshot runCluster(const ClusterRunSpec &spec);
+
+    /**
+     * Execute every fleet cell across the worker pool and return
+     * snapshots in spec order. Warm fleets share per-rung
+     * DeviceImages: each distinct warm recipe (config, age rung,
+     * warm traffic) builds once — lastPerf().warmupImages — and
+     * every matching device in every cell forks it.
+     */
+    std::vector<cluster::ClusterSnapshot>
+    runClusterAll(const std::vector<ClusterRunSpec> &specs);
+
+    /**
      * Worker threads a sweep of @p jobs cells would use: the
      * --threads option (0 = hardware concurrency) clamped to the
      * job count.
@@ -201,6 +225,17 @@ class SweepRunner
     std::vector<DeviceSnapshot>
     runLoadSweep(const std::vector<LoadRunSpec> &specs,
                  const std::vector<std::string> &labels);
+
+    /**
+     * The shared fleet-cell body: construct the cluster (device d
+     * forking @p images[d] when non-null), merge the tenant arrival
+     * streams, route every job, drain. @p images must have one entry
+     * per device (null = fresh device).
+     */
+    cluster::ClusterSnapshot runClusterCell(
+        const ClusterRunSpec &spec,
+        const std::vector<std::shared_ptr<const DeviceImage>>
+            &images);
 
     /** Time @p body, tallying cells/events into lastPerf(). */
     template <typename Body>

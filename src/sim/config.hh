@@ -288,6 +288,26 @@ struct ReliabilityConfig
      */
     std::uint32_t scrubMaxRefreshPerPass = 1;
     /** @} */
+
+    /** @name Background wear-leveling (off by default) @{ */
+    /**
+     * Migrate cold data out of low-wear blocks during scrub passes.
+     * Allocation-time min-erase selection only levels blocks that
+     * get erased; data that never moves pins its block at low wear
+     * while the rest of the pool cycles. When enabled, each scrub
+     * pass additionally refreshes (migrates + erases) the coldest
+     * full closed block whenever the pool's erase-count spread
+     * exceeds @ref wearLevelGap, returning the young block to write
+     * service. Inert when false: byte-identical outputs.
+     */
+    bool wearLevelEnabled = false;
+    /** Erase-count spread (max - min over used blocks) that
+     *  triggers a cold-block migration. */
+    std::uint32_t wearLevelGap = 8;
+    /** Cold-block migrations per scrub pass (rate limit, like
+     *  scrubMaxRefreshPerPass). */
+    std::uint32_t wearLevelMaxPerPass = 1;
+    /** @} */
 };
 
 /** Top-level simulated-system configuration. */

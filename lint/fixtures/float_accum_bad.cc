@@ -1,0 +1,15 @@
+// Fixture: floating-point += inside a parallelFor body.
+#include <cstddef>
+#include <vector>
+
+template <typename F> void parallelFor(std::size_t n, F &&f) {
+  for (std::size_t i = 0; i < n; ++i) f(i);
+}
+
+double badReduce(const std::vector<double> &xs) {
+  double total = 0.0;
+  parallelFor(xs.size(), [&](std::size_t i) {
+    total += xs[i];  // completion order changes the rounding
+  });
+  return total;
+}

@@ -1,0 +1,21 @@
+// Fixture: order-safe reductions under parallelFor — integer
+// accumulation per cell, then an index-ordered float merge outside.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+template <typename F> void parallelFor(std::size_t n, F &&f) {
+  for (std::size_t i = 0; i < n; ++i) f(i);
+}
+
+double goodReduce(const std::vector<double> &xs) {
+  std::vector<double> cells(xs.size(), 0.0);
+  std::vector<std::uint64_t> counts(xs.size(), 0);
+  parallelFor(xs.size(), [&](std::size_t i) {
+    cells[i] = xs[i];   // plain store, no accumulation
+    counts[i] += 1;     // integer += is exact in any order
+  });
+  double total = 0.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) total += cells[i];
+  return total;
+}

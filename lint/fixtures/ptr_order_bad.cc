@@ -1,0 +1,17 @@
+// Fixture: containers and sorts ordered by raw pointer value.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Job {
+  int id;
+};
+
+std::map<Job *, int> badMap;       // key order follows addresses
+std::set<const Job *> badSet;      // same hazard, const-qualified
+
+void badSort(std::vector<Job *> &jobs) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job *a, const Job *b) { return a < b; });
+}

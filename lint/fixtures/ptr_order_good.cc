@@ -1,0 +1,18 @@
+// Fixture: value-keyed containers and field-keyed sorts — safe.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Job {
+  int id;
+};
+
+std::map<std::uint64_t, int> goodMap;  // integer keys, stable order
+std::set<int> goodSet;
+
+void goodSort(std::vector<Job *> &jobs) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job *a, const Job *b) { return a->id < b->id; });
+}

@@ -1,0 +1,19 @@
+// Fixture: RNGs constructed outside the config plumbing.
+#include <cstdint>
+#include <random>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : s_(seed) {}
+  std::uint64_t next() { return s_ += 0x9E3779B97F4A7C15ull; }
+  std::uint64_t s_;
+};
+
+std::uint64_t badLiteralSeed() {
+  Rng rng(0xC0FFEEull);  // literal seed, not plumbed from config
+  return rng.next();
+}
+
+std::uint64_t badStdEngine() {
+  std::mt19937_64 eng;  // stdlib engine, unstable across platforms
+  return eng();
+}

@@ -1,0 +1,23 @@
+// Fixture: seeds plumbed from configuration — safe.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : s_(seed) {}
+  std::uint64_t next() { return s_ += 0x9E3779B97F4A7C15ull; }
+  std::uint64_t s_;
+};
+
+struct Config {
+  std::uint64_t seed = 42;
+};
+
+std::uint64_t goodPlumbedSeed(const Config &cfg) {
+  Rng rng(cfg.seed);
+  return rng.next();
+}
+
+std::uint64_t goodDerivedStream(const Config &cfg,
+                                std::uint64_t stream) {
+  Rng rng(cfg.seed ^ (stream * 0x9E3779B97F4A7C15ull));
+  return rng.next();
+}

@@ -1,0 +1,28 @@
+// Fixture: snapshot class with a member the capture forgot.
+#pragma once
+#include <cstdint>
+#include <vector>
+
+struct SnapBadImage {
+  std::vector<std::uint64_t> table;
+  std::uint64_t cursor = 0;
+};
+
+class SnapBad {
+public:
+  SnapBadImage capture() const {
+    SnapBadImage img;
+    img.table = table_;
+    img.cursor = cursor_;
+    return img;
+  }
+  void restore(const SnapBadImage &img) {
+    table_ = img.table;
+    cursor_ = img.cursor;
+  }
+
+private:
+  std::vector<std::uint64_t> table_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t forgotten_ = 0;  // never captured, never annotated
+};

@@ -1,0 +1,39 @@
+// Fixture: snapshot class with full coverage — every member either
+// captured or annotated transient (single-line and block forms).
+#pragma once
+#include <cstdint>
+#include <vector>
+
+struct SnapGoodImage {
+  std::vector<std::uint64_t> table;
+  std::uint64_t cursor = 0;
+};
+
+struct SnapGoodConfig {
+  std::uint64_t capacity = 0;
+};
+
+class SnapGood {
+public:
+  explicit SnapGood(const SnapGoodConfig &cfg) : cfg_(cfg) {}
+  SnapGoodImage capture() const {
+    SnapGoodImage img;
+    img.table = table_;
+    img.cursor = cursor_;
+    return img;
+  }
+  void restore(const SnapGoodImage &img) {
+    table_ = img.table;
+    cursor_ = img.cursor;
+  }
+
+private:
+  std::vector<std::uint64_t> table_;
+  std::uint64_t cursor_ = 0;
+  // lint: transient(config is immutable and shared by the fork)
+  const SnapGoodConfig &cfg_;
+  // lint: transient-begin(scratch rebuilt lazily on first use)
+  std::vector<std::uint64_t> scratch_;
+  std::uint64_t scratchHigh_ = 0;
+  // lint: transient-end
+};

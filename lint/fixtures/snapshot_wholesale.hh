@@ -1,0 +1,10 @@
+// Fixture: wholesale-copied snapshot class holding a raw pointer.
+// The compiler-generated copy covers value members, but the pointer
+// aliases instead of deep-copying — that member must be flagged.
+#pragma once
+#include <cstdint>
+
+struct SnapWholesaleBad {
+  std::uint64_t state[4] = {1, 2, 3, 4};
+  std::uint64_t *shared = nullptr;  // aliases across forks
+};

@@ -1,0 +1,22 @@
+// Fixture: known-bad unordered-container traversals.
+// Every loop below derives a simulated quantity from an
+// address-dependent iteration order.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::uint64_t sumPages(
+    const std::unordered_map<std::uint64_t, std::uint64_t> &touches) {
+  std::uint64_t total = 0;
+  for (const auto &[page, n] : touches) {
+    total += page * n;  // order-dependent via overflow? no — but the
+  }                     // pattern itself is the hazard being linted
+  return total;
+}
+
+std::vector<std::uint64_t> collectIds(
+    const std::unordered_set<std::uint64_t> &ids) {
+  std::vector<std::uint64_t> out(ids.begin(), ids.end());
+  return out;  // unsorted copy leaks hash order into results
+}

@@ -1,0 +1,22 @@
+// Fixture: unordered containers used safely — lookup/insert only,
+// plus one traversal made order-independent and suppressed.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::uint64_t lookupOnly(
+    const std::unordered_map<std::uint64_t, std::uint64_t> &slots,
+    std::uint64_t key) {
+  auto it = slots.find(key);
+  return it == slots.end() ? 0 : it->second;
+}
+
+std::vector<std::uint64_t> sortedCopy(
+    const std::unordered_set<std::uint64_t> &deps) {
+  // lint: allow(unordered-iter, copied then std::sort'ed below; final order is value-determined)
+  std::vector<std::uint64_t> out(deps.begin(), deps.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}

@@ -1,0 +1,10 @@
+// Fixture: a perf-attribution file on the wall-clock allowlist.
+// Chrono reads here measure the simulator itself, never simulated
+// quantities — the selftest allowlists this file by name.
+#include <chrono>
+
+double attributeCell() {
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

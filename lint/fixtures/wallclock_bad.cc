@@ -1,0 +1,19 @@
+// Fixture: wall-clock and entropy reads in a simulated path.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+unsigned badEntropy() {
+  std::random_device rd;
+  return rd();
+}
+
+long badTime() {
+  return time(nullptr);
+}
+
+double badChrono() {
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -57,13 +57,20 @@ def main():
         print("error: reference record has no events/sec metrics")
         return 2
 
-    failures = []
+    # A dropped metric fails the gate no matter its reference value:
+    # checking after the ref_val filter would let a metric whose
+    # committed figure is 0/absent disappear silently.
+    missing = sorted(set(ref) - set(new))
+    failures = [
+        f"{name}: present in {args.reference} but missing from "
+        f"{args.fresh} — a scenario or microbench was dropped"
+        for name in missing
+    ]
     ratios = []
     for name, ref_val in sorted(ref.items()):
-        if ref_val <= 0:
+        if name in missing:
             continue
-        if name not in new:
-            failures.append(f"{name}: missing from fresh record")
+        if ref_val <= 0:
             continue
         ratio = new[name] / ref_val
         ratios.append(ratio)

@@ -461,12 +461,15 @@ class Device
 
     DeviceOptions opts_;
     Engine engine_;
+    // lint: transient(memoized compiled programs; rebuilt on demand, never observable)
     ProgramCache cache_;
     RegionAllocator regions_;
     bool session_ = false;
 
     std::deque<Job> jobs_; // deque: stable addresses for callbacks
+    // lint: transient(snapshot() drains to quiescence first, so the admission queue is empty at capture)
     std::deque<JobId> waiting_;
+    // lint: transient(empty at quiescence; lookup-only map from live contexts to jobs)
     std::unordered_map<const sched::ExecContext *, JobId> byCtx_;
     std::size_t retired_ = 0;
     Tick makespan_ = 0;

@@ -320,9 +320,12 @@ class Engine : public sched::StreamDispatcher
     NandArray nand_;
     Ftl ftl_;
     DramModel dram_;
+    // lint: transient(stateless latency model derived from config; isp_ carries the mutable core Server)
     PudUnit pud_;
     IspCore isp_;
+    // lint: transient(stateless latency model derived from config; die/channel calendars live in nand_)
     IfpUnit ifp_;
+    // lint: transient(pure function of config; no mutable state)
     InstructionTransformer transformer_;
     Rng rng_;
 
@@ -339,10 +342,12 @@ class Engine : public sched::StreamDispatcher
      * attaching streams. Kept after a run so feature probes can
      * consult completion state.
      */
+    // lint: transient(captureImage requires quiescence: every context is complete and its results already live in the Device's retired jobs)
     std::deque<sched::ExecContext> streamCtxs_;
 
     /** Session event queue + scheduler (created by sessionBegin). */
     std::unique_ptr<EventQueue> queue_;
+    // lint: transient(rebuilt by sessionBegin on restore; holds no state beyond the contexts it schedules)
     std::unique_ptr<sched::StreamScheduler> scheduler_;
 
     /** @name Scrub-task state (inert with reliability disabled) @{ */

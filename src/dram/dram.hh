@@ -127,15 +127,19 @@ class DramModel
     }
 
   private:
+    // lint: transient(immutable config, rebuilt by the constructor on restore)
     DramConfig cfg_;
     ServerGroup banks_;
     Server bus_;
+    // lint: transient(wiring into the owning Engine's StatSet, re-bound on restore)
     StatSet *stats_;
 
     // Hot-path counters resolved once: a StatSet lookup per access
     // costs a string construction plus a map walk.
+    // lint: transient-begin(cached StatSet pointers; the counters survive via StatSet::restoreFrom)
     Counter *statAccesses_ = nullptr;
     Counter *statBytes_ = nullptr;
+    // lint: transient-end
 };
 
 } // namespace conduit

@@ -205,10 +205,12 @@ class Ftl
     bool collectPlane(std::uint64_t plane_slot, Tick now);
     void touchMapCache(Lpn lpn, bool &hit);
 
+    // lint: transient-begin(wiring: references into the owning Engine, re-bound by its constructor on restore)
     NandArray &nand_;
     SsdConfig cfg_;
     StatSet *stats_;
     reliability::ReliabilityModel *rel_ = nullptr;
+    // lint: transient-end
 
     std::vector<Ppn> l2p_;
     std::vector<BlockState> blocks_;
@@ -217,6 +219,7 @@ class Ftl
     std::vector<std::uint64_t> openBlock_;
     std::uint64_t nextSlot_ = 0; // round-robin stripe pointer
 
+    // lint: transient(pure function of config geometry, recomputed by the constructor)
     std::uint64_t logicalPages_ = 0;
     std::uint64_t freeBlockCount_ = 0;
     std::uint64_t retiredBlocks_ = 0;
@@ -232,10 +235,12 @@ class Ftl
 
     // Hot-path counters resolved once: StatSet lookup costs a string
     // construction plus a map walk, far too much per translate.
+    // lint: transient-begin(cached StatSet pointers; the counters they mirror live in stats_ and survive via StatSet::restoreFrom)
     Counter *statMapHits_ = nullptr;
     Counter *statMapMisses_ = nullptr;
     Counter *statGcRuns_ = nullptr;
     Counter *statGcMigrations_ = nullptr;
+    // lint: transient-end
 
   public:
     /**

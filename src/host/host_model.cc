@@ -47,6 +47,7 @@ HostModel::run(const Program &prog) const
                static_cast<double>(prog.footprintPages) * frac));
     RankLru lru;
     lru.reset(prog.footprintPages, capacity);
+    // lint: allow(seed-plumbing, fixed seed is the host-cache model itself: every replay of a program must see the identical synthetic access pattern, independent of device config)
     Rng rng(0xC0FFEE);
 
     auto touch = [&](std::uint64_t page) -> bool {

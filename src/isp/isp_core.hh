@@ -75,15 +75,20 @@ class IspCore
   private:
     double cyclesPerSimd(OpCode op) const;
 
+    // lint: transient-begin(immutable configs plus StatSet wiring, rebuilt/re-bound by the constructor on restore)
     IspConfig cfg_;
     ComputeModelConfig model_;
+    // lint: transient-end
     Server core_;
+    // lint: transient(wiring into the owning Engine's StatSet, re-bound on restore)
     StatSet *stats_;
 
     // Hot-path counters resolved once: a StatSet lookup per op costs
     // a string construction plus a map walk.
+    // lint: transient-begin(cached StatSet pointers; the counters survive via StatSet::restoreFrom)
     Counter *statOps_ = nullptr;
     Counter *statBusyPs_ = nullptr;
+    // lint: transient-end
 };
 
 } // namespace conduit

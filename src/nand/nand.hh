@@ -227,15 +227,20 @@ class NandArray
 
     static Radix makeRadix(std::uint64_t value);
 
+    // lint: transient(immutable config, rebuilt by the constructor on restore)
     NandConfig cfg_;
     std::vector<Server> dies_;
     std::vector<Server> channels_;
+    // lint: transient-begin(wiring into the owning Engine, re-bound by its constructor on restore)
     StatSet *stats_;
     reliability::ReliabilityModel *rel_ = nullptr;
+    // lint: transient-end
 
     /** Cached strides (innermost first) and the pages-per-die span. */
+    // lint: transient-begin(pure functions of config geometry, recomputed by the constructor)
     Radix rPage_, rBlock_, rPlane_, rDie_;
     Radix pagesPerDie_;
+    // lint: transient-end
 
     /**
      * Incremental min-die tracker. Server free points only move
@@ -249,12 +254,14 @@ class NandArray
 
     // Hot-path counters resolved once: a StatSet lookup per media op
     // costs a string construction plus a map walk.
+    // lint: transient-begin(cached StatSet pointers; the counters survive via StatSet::restoreFrom)
     Counter *statReads_ = nullptr;
     Counter *statPrograms_ = nullptr;
     Counter *statErases_ = nullptr;
     Counter *statXferOutBytes_ = nullptr;
     Counter *statXferInBytes_ = nullptr;
     Counter *statDmaOps_ = nullptr;
+    // lint: transient-end
 };
 
 } // namespace conduit

@@ -178,9 +178,11 @@ class ReliabilityModel
         ReadPlan plan;
     };
 
+    // lint: transient-begin(config and the stateless models derived from it, rebuilt by the constructor on restore)
     ReliabilityConfig cfg_;
     RberModel rber_;
     EccEngine ecc_;
+    // lint: transient-end
     std::vector<BlockWear> wear_;
     std::uint64_t totalErases_ = 0; // beyond pre-wear, all blocks
 
@@ -193,6 +195,7 @@ class ReliabilityModel
     ReliabilityStats stats_;
 
     /** StatSet mirrors (resolved once; see nand.hh's rationale). */
+    // lint: transient-begin(cached StatSet pointers; the counters they mirror survive via StatSet::restoreFrom)
     Counter *statRetriedReads_ = nullptr;
     Counter *statEccRetries_ = nullptr;
     Counter *statSoftDecodes_ = nullptr;
@@ -200,6 +203,7 @@ class ReliabilityModel
     Counter *statRetiredBlocks_ = nullptr;
     Counter *statScrubPasses_ = nullptr;
     Counter *statScrubRefreshes_ = nullptr;
+    // lint: transient-end
 
   public:
     /**

@@ -266,6 +266,7 @@ class EventQueue
     /** Drop cancelled entries (and drained prefixes) in every tier. */
     void compactAll();
 
+    // lint: transient-begin(restore() requires a freshly-constructed queue with zero live/fired events, so every structural member below provably holds its constructed value; only now_ and the fired_ total carry across a snapshot)
     std::vector<std::unique_ptr<Slot[]>> chunks_;
     std::size_t slotCount_ = 0;
     std::uint32_t freeHead_ = kNoSlot;
@@ -296,6 +297,7 @@ class EventQueue
 
     std::size_t live_ = 0;      // scheduled, not yet fired/cancelled
     std::size_t cancelled_ = 0; // dead entries still resident
+    // lint: transient-end
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t fired_ = 0;

@@ -91,6 +91,7 @@ struct Vectorizer::Emitter
         for (const auto &s : vi.srcs)
             scan(s);
         scan(vi.dst); // WAW ordering
+        // lint: allow(unordered-iter, copied then std::sort'ed on the next line; final order is value-determined)
         vi.deps.assign(dep_set.begin(), dep_set.end());
         std::sort(vi.deps.begin(), vi.deps.end());
         for (std::uint64_t p = vi.dst.basePage;
@@ -372,6 +373,7 @@ Vectorizer::run(const LoopProgram &lp) const
     em.report.dynamicVectorFraction =
         total > 0 ? em.elemOpsVector / total : 0.0;
     std::uint64_t touches = 0;
+    // lint: allow(unordered-iter, integer sum over all values; commutative and exact in any order)
     for (const auto &[page, n] : em.readTouches)
         touches += n;
     em.report.avgReuse = em.readTouches.empty()

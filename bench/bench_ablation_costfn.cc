@@ -72,5 +72,5 @@ main(int argc, char **argv)
                 "than full Conduit)\n");
 
     const auto perf = runner.lastPerf();
-    return cli.finish(sweep, &perf);
+    return cli.finish(sweep, &perf, &runner);
 }

@@ -114,5 +114,5 @@ main(int argc, char **argv)
                 "and mixed (+40%% over IFP).\n");
 
     const auto perf = runner.lastPerf();
-    return cli.finish(sweep, &perf);
+    return cli.finish(sweep, &perf, &runner);
 }

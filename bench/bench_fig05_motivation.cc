@@ -67,5 +67,5 @@ main(int argc, char **argv)
     }
 
     const auto perf = runner.lastPerf();
-    return cli.finish(sweep, &perf);
+    return cli.finish(sweep, &perf, &runner);
 }

@@ -64,5 +64,5 @@ main(int argc, char **argv)
                 "jacobi-1d p99 1.7x/1.1x, p99.99 1.9x/1.3x\n");
 
     const auto perf = runner.lastPerf();
-    return cli.finish(sweep, &perf);
+    return cli.finish(sweep, &perf, &runner);
 }

@@ -49,5 +49,5 @@ main(int argc, char **argv)
     }
 
     const auto perf = runner.lastPerf();
-    return cli.finish(sweep, &perf);
+    return cli.finish(sweep, &perf, &runner);
 }

@@ -383,5 +383,6 @@ main(int argc, char **argv)
                      cli.jsonPath.c_str());
         status = 1;
     }
+    status |= cli.writeTraces(runner);
     return status;
 }

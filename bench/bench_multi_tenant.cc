@@ -338,5 +338,5 @@ main(int argc, char **argv)
     const SweepResult rows(std::move(rowSpecs), std::move(rowResults),
                            wall, runner.workerCount(cells.size()));
     const auto perf = runner.lastPerf();
-    return cli.finish(rows, &perf);
+    return cli.finish(rows, &perf, &runner);
 }

@@ -575,6 +575,17 @@ main(int argc, char **argv)
         "(default 3);\n"
         "                     --json names the perf record "
         "(default BENCH_selfperf.json)\n");
+    if (!cli.tracePath.empty()) {
+        // The perf record is the tracing-off guard: every scenario
+        // runs with a null tracer, so the recorded wall numbers are
+        // exactly the disabled-tracer fast path the perf gate diffs.
+        // Tracing a timing run would measure the tracer, not the
+        // simulator.
+        std::fprintf(stderr,
+                     "bench_selfperf measures the tracing-off fast "
+                     "path; --trace is not supported here\n");
+        return 2;
+    }
 
     static const std::vector<std::string> kScenarios = {
         "fig07a-reduced", "multi-tenant-8", "open-loop-saturation",

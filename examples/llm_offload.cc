@@ -24,17 +24,19 @@ main(int argc, char **argv)
 
     const SweepCli cli = SweepCli::parse(argc, argv);
 
-    EngineOptions eo;
-    eo.recordTimeline = true;
     RunMatrix matrix;
-    matrix.engine(eo)
-        .workload(WorkloadId::LlamaInference)
+    matrix.workload(WorkloadId::LlamaInference)
         .techniques({"CPU", "GPU", "ISP", "Ares-Flash",
                      "BW-Offloading", "DM-Offloading", "Conduit",
                      "Ideal"});
     cli.configure(matrix, "CPU"); // rows are normalized to CPU
 
-    SweepRunner sweeprunner(cli.runnerOptions());
+    // The §6.4 analysis below consumes the tracer's occupancy spans,
+    // so that category is always on for this example's cells.
+    SweepOptions opts = cli.runnerOptions();
+    opts.trace.categories |=
+        static_cast<std::uint32_t>(trace::Category::Occupancy);
+    SweepRunner sweeprunner(opts);
     const SweepResult sweep = sweeprunner.run(matrix.build());
 
     const std::string llama = workloadName(WorkloadId::LlamaInference);
@@ -79,15 +81,20 @@ main(int argc, char **argv)
     }
 
     // The §6.4 observation: where did the multiplies go? (No extra
-    // run needed — the sweep already recorded Conduit's traces.)
-    if (const RunResult *conduit = sweep.find(llama, "Conduit")) {
+    // run needed — the sweep already traced Conduit's occupancy.)
+    const trace::Tracer *conduitTrace = nullptr;
+    for (const trace::TraceCell &c : sweeprunner.lastTraces())
+        if (c.label == llama + "/Conduit")
+            conduitTrace = c.tracer.get();
+    if (conduitTrace) {
+        const trace::InstructionTimeline tl =
+            trace::instructionTimeline(*conduitTrace);
         std::uint64_t mul_ifp = 0, mul_total = 0;
-        for (std::size_t i = 0; i < conduit->opTrace.size(); ++i) {
-            const auto op = static_cast<OpCode>(conduit->opTrace[i]);
+        for (std::size_t i = 0; i < tl.op.size(); ++i) {
+            const auto op = static_cast<OpCode>(tl.op[i]);
             if (op == OpCode::Mul || op == OpCode::Mac) {
                 ++mul_total;
-                if (static_cast<Target>(conduit->resourceTrace[i]) ==
-                    Target::Ifp)
+                if (static_cast<Target>(tl.resource[i]) == Target::Ifp)
                     ++mul_ifp;
             }
         }
@@ -97,5 +104,5 @@ main(int argc, char **argv)
             mul_total ? 100.0 * mul_ifp / mul_total : 0.0);
     }
 
-    return cli.finish(sweep);
+    return cli.finish(sweep, nullptr, &sweeprunner);
 }

@@ -1,0 +1,16 @@
+// Fixture: a wall-clock read inside tracing code. The tracer records
+// simulated time only — a trace timestamped from std::chrono would
+// differ run to run and break the trace bit-identity contract, so
+// the wallclock check must flag src/trace/ like any simulated path
+// (tracing has no wallclock-allowed carve-out).
+#include <chrono>
+
+namespace conduit::trace {
+
+unsigned long long badTraceTimestamp() {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<unsigned long long>(
+      now.time_since_epoch().count());
+}
+
+} // namespace conduit::trace

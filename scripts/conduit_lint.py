@@ -94,7 +94,7 @@ SIM_DIRS = (
     "src/sim", "src/core", "src/ftl", "src/sched", "src/cluster",
     "src/reliability", "src/nand", "src/dram", "src/isp", "src/host",
     "src/offload", "src/vectorizer", "src/ir", "src/workloads",
-    "src/energy", "src/runner",
+    "src/energy", "src/runner", "src/trace",
 )
 
 # Files allowed to read the wall clock: per-cell SweepPerf

@@ -1,0 +1,403 @@
+#!/usr/bin/env python3
+"""Summarize a conduit trace file (--trace output, CSV or JSON).
+
+Reads the deterministic trace that every bench emits under
+``--trace PATH`` (Chrome trace-event JSON, or the compact CSV when
+PATH ends in .csv) and prints:
+
+  * per-resource utilization (ISP / PuD / IFP occupancy plus host
+    drains) per sweep cell and device,
+  * the top-N longest job spans,
+  * ECC-retry-stall blame per die,
+  * queue-depth percentiles from the admission-queue samples.
+
+All arithmetic is integer picoseconds, so the report is exact and
+byte-stable for a given trace file — which is what the golden
+selftest (``--selftest``) relies on: it summarizes the committed
+reduced trace at scripts/testdata/trace_small.csv and diffs the
+output against scripts/testdata/trace_summary.golden.
+
+``--validate`` instead checks the file's structure (trace-event JSON
+schema or CSV shape) and exits non-zero on the first violation; CI
+runs it over freshly-generated traces.
+
+Regenerate the committed testdata with:
+
+  bench_fleet --threads 1 --scale 0.002 --devices 2 --jobs 3 \
+      --age-mix 0,0:6000 --workloads "XOR Filter" \
+      --techniques least-backlog --trace scripts/testdata/trace_small.csv
+  python3 scripts/trace_summary.py scripts/testdata/trace_small.csv \
+      > scripts/testdata/trace_summary.golden
+"""
+
+import argparse
+import json
+import os
+import sys
+from collections import defaultdict, namedtuple
+
+PS_PER_US = 1_000_000
+
+CSV_HEADER = "cell,device,cat,kind,lane,start_ps,end_ps,a,b,c,tag"
+
+KINDS = {
+    "job",
+    "instr",
+    "host-drain",
+    "ecc-stall",
+    "scrub",
+    "backlog",
+    "job-queue",
+    "placement",
+}
+
+CATS = {"job", "occupancy", "reliability", "queue", "placement"}
+
+# Target enum order (src/sim/types.hh): Isp, Pud, Ifp.
+RESOURCES = ("isp", "pud", "ifp")
+
+Event = namedtuple(
+    "Event",
+    ["cell", "device", "cat", "kind", "lane", "start", "end",
+     "a", "b", "c", "tag"],
+)
+
+
+def fmt_us(ps):
+    """Exact decimal microseconds from integer picoseconds."""
+    return "%d.%06d" % (ps // PS_PER_US, ps % PS_PER_US)
+
+
+def fmt_pct(part, whole):
+    """part/whole as a percentage with two exact decimals."""
+    if whole == 0:
+        return "0.00"
+    scaled = part * 10000 // whole
+    return "%d.%02d" % (scaled // 100, scaled % 100)
+
+
+def percentile(sorted_vals, p):
+    """Nearest-rank percentile of a pre-sorted list (deterministic)."""
+    if not sorted_vals:
+        return 0
+    rank = max(1, -(-len(sorted_vals) * p // 100))  # ceil
+    return sorted_vals[min(rank, len(sorted_vals)) - 1]
+
+
+# ------------------------------------------------------------ parsing
+
+
+def parse_csv(path):
+    events = []
+    with open(path, "r", encoding="utf-8") as f:
+        header = f.readline().rstrip("\n")
+        if header != CSV_HEADER:
+            raise ValueError("bad CSV header: %r" % header)
+        for lineno, line in enumerate(f, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split(",", 10)
+            if len(parts) != 11:
+                raise ValueError("line %d: expected 11 fields, got %d"
+                                 % (lineno, len(parts)))
+            (cell, device, cat, kind, lane, start, end, a, b, c,
+             tag) = parts
+            if kind not in KINDS:
+                raise ValueError("line %d: unknown kind %r"
+                                 % (lineno, kind))
+            if cat not in CATS:
+                raise ValueError("line %d: unknown cat %r"
+                                 % (lineno, cat))
+            events.append(Event(cell, int(device), cat, kind,
+                                int(lane), int(start), int(end),
+                                int(a), int(b), int(c), tag))
+    return events
+
+
+def _us_to_ps(val):
+    """A trace-event us timestamp back to integer ps.
+
+    The exporter prints exact six-fractional-digit decimals; going
+    through the JSON parser loses exactness above 2^53 ps, which is
+    fine for summarization (CSV is the exact format).
+    """
+    return int(round(float(val) * PS_PER_US))
+
+
+# tid layout mirrored from src/trace/export.cc.
+TRACKS_PER_DEVICE = 4096
+TRACK_DIE_BASE = 16
+
+INSTR_NAMES = {"isp": 0, "pud": 1, "ifp": 2}
+
+
+def parse_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = []
+    cell_of_pid = {}
+    for ev in doc.get("traceEvents", []):
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                cell_of_pid[ev["pid"]] = ev["args"]["name"]
+            continue
+        cell = cell_of_pid.get(ev.get("pid"), "?")
+        args = ev.get("args", {})
+        ts = _us_to_ps(ev.get("ts", 0))
+        name = ev.get("name", "")
+        if ph == "C":
+            # "dev%u backlog" / "dev%u queue" counters.
+            dev_str, _, what = name.partition(" ")
+            device = int(dev_str[3:]) if dev_str.startswith("dev") else 0
+            if what == "queue":
+                events.append(Event(cell, device, "queue", "job-queue",
+                                    0, ts, ts, int(args["pending"]),
+                                    int(args["waiting"]),
+                                    int(args["admitted_pages"]), ""))
+            else:
+                events.append(Event(cell, device, "queue", "backlog",
+                                    int(args.get("busy_ppm", 0)),
+                                    ts, ts, _us_to_ps(args["isp_us"]),
+                                    _us_to_ps(args["pud_us"]),
+                                    _us_to_ps(args["die_us"]), ""))
+            continue
+        tid = ev.get("tid", 0)
+        local = tid % TRACKS_PER_DEVICE
+        device = tid // TRACKS_PER_DEVICE
+        lane = local - TRACK_DIE_BASE if local >= TRACK_DIE_BASE else 0
+        if ph == "i":
+            if name == "scrub":
+                events.append(Event(cell, device, "reliability",
+                                    "scrub", lane, ts, ts,
+                                    int(args["refreshed"]),
+                                    int(args["migrations"]), 0, ""))
+            elif name == "place":
+                events.append(Event(cell, device, "placement",
+                                    "placement", 0, ts, ts,
+                                    int(args["tenant"]),
+                                    int(args["job"]),
+                                    int(args["pending"]),
+                                    args.get("probe", "")))
+            continue
+        if ph != "X":
+            continue
+        end = ts + _us_to_ps(ev.get("dur", 0))
+        if name in INSTR_NAMES:
+            events.append(Event(cell, device, "occupancy", "instr",
+                                lane, ts, end, int(args["id"]),
+                                int(args["op"]), INSTR_NAMES[name],
+                                args.get("stream", "")))
+        elif name == "drain":
+            events.append(Event(cell, device, "occupancy",
+                                "host-drain", 0, ts, end,
+                                int(args["pages"]), 0, 0,
+                                args.get("stream", "")))
+        elif name == "ecc":
+            events.append(Event(cell, device, "reliability",
+                                "ecc-stall", lane, ts, end,
+                                int(args["block"]),
+                                _us_to_ps(args["penalty_us"]), 0, ""))
+        else:
+            # Job lifecycle span; the span name is the job tag.
+            events.append(Event(cell, device, "job", "job", 0, ts,
+                                end, int(args["job"]),
+                                _us_to_ps(args["admitted_us"]),
+                                int(args["pages"]), name))
+    return events
+
+
+def parse_trace(path):
+    if path.endswith(".csv"):
+        return parse_csv(path)
+    return parse_json(path)
+
+
+# --------------------------------------------------------- validation
+
+
+def validate_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return "top-level object must carry a traceEvents array"
+    evs = doc["traceEvents"]
+    if not isinstance(evs, list):
+        return "traceEvents is not an array"
+    required = {
+        "M": ("pid", "name", "args"),
+        "X": ("pid", "tid", "name", "cat", "ts", "dur"),
+        "i": ("pid", "tid", "name", "cat", "ts", "s"),
+        "C": ("pid", "name", "ts", "args"),
+    }
+    for i, ev in enumerate(evs):
+        if not isinstance(ev, dict):
+            return "event %d is not an object" % i
+        ph = ev.get("ph")
+        if ph not in required:
+            return "event %d: unknown ph %r" % (i, ph)
+        for key in required[ph]:
+            if key not in ev:
+                return "event %d (ph=%s): missing %r" % (i, ph, key)
+        if ph in ("X", "i") and ev["cat"] not in CATS:
+            return "event %d: unknown cat %r" % (i, ev["cat"])
+        if ph == "X" and (ev["ts"] < 0 or ev["dur"] < 0):
+            return "event %d: negative ts/dur" % i
+        if ph == "i" and ev["s"] != "t":
+            return "event %d: instant scope must be \"t\"" % i
+    return None
+
+
+def validate(path):
+    try:
+        if path.endswith(".csv"):
+            parse_csv(path)  # raises on any shape violation
+            err = None
+        else:
+            err = validate_json(path)
+    except (ValueError, KeyError, json.JSONDecodeError, OSError) as e:
+        err = str(e)
+    if err:
+        print("%s: INVALID: %s" % (path, err), file=sys.stderr)
+        return 1
+    n = len(parse_trace(path))
+    print("%s: OK (%d events)" % (path, n))
+    return 0
+
+
+# ---------------------------------------------------------- summaries
+
+
+def summarize(events, top_n, out):
+    w = out.write
+    by_kind = defaultdict(int)
+    for e in events:
+        by_kind[e.kind] += 1
+    w("trace summary: %d events\n" % len(events))
+    for kind in sorted(by_kind):
+        w("  %-11s %6d\n" % (kind, by_kind[kind]))
+
+    cells = sorted({e.cell for e in events})
+
+    # Per-resource utilization: instr busy per (cell, device,
+    # resource) plus host drains, against the cell's traced span.
+    # Aggregate busy over all lanes of a resource, so a cell running
+    # concurrent streams/dies can legitimately exceed 100% of span.
+    w("\nresource utilization (busy_us, % of cell span)\n")
+    for cell in cells:
+        cell_evs = [e for e in events if e.cell == cell]
+        span_lo = min(e.start for e in cell_evs)
+        span_hi = max(e.end for e in cell_evs)
+        span = span_hi - span_lo
+        w("  cell %s (span %s us)\n" % (cell, fmt_us(span)))
+        busy = defaultdict(int)  # (device, resource) -> ps
+        for e in cell_evs:
+            if e.kind == "instr":
+                busy[(e.device, RESOURCES[e.c % 3])] += e.end - e.start
+            elif e.kind == "host-drain":
+                busy[(e.device, "host")] += e.end - e.start
+        for (device, res) in sorted(busy):
+            ps = busy[(device, res)]
+            w("    dev%d %-5s %14s us  %6s%%\n"
+              % (device, res, fmt_us(ps), fmt_pct(ps, span)))
+
+    # Longest job spans.
+    jobs = [e for e in events if e.kind == "job"]
+    jobs.sort(key=lambda e: (-(e.end - e.start), e.cell, e.a))
+    w("\ntop %d job spans (dur_us, cell, job, pages, name)\n"
+      % min(top_n, len(jobs)))
+    for e in jobs[:top_n]:
+        w("  %14s  %s  job%d  %d pages  %s\n"
+          % (fmt_us(e.end - e.start), e.cell, e.a, e.c,
+             e.tag or "-"))
+
+    # ECC blame per die.
+    stalls = defaultdict(lambda: [0, 0, 0])  # key -> [n, penalty, busy]
+    for e in events:
+        if e.kind != "ecc-stall":
+            continue
+        s = stalls[(e.cell, e.device, e.lane)]
+        s[0] += 1
+        s[1] += e.b
+        s[2] += e.end - e.start
+    w("\necc stalls per die (stalls, penalty_us, busy_us)\n")
+    if not stalls:
+        w("  none\n")
+    for key in sorted(stalls):
+        cell, device, die = key
+        n, penalty, busy = stalls[key]
+        w("  %s dev%d die%-3d %4d  %12s  %12s\n"
+          % (cell, device, die, n, fmt_us(penalty), fmt_us(busy)))
+
+    # Queue-depth percentiles from the admission-queue samples.
+    depths = defaultdict(list)  # (cell, device) -> [pending]
+    for e in events:
+        if e.kind == "job-queue":
+            depths[(e.cell, e.device)].append(e.a)
+    w("\nqueue depth (samples, p50, p90, p99, max)\n")
+    if not depths:
+        w("  none\n")
+    for key in sorted(depths):
+        vals = sorted(depths[key])
+        cell, device = key
+        w("  %s dev%d  %4d  %4d  %4d  %4d  %4d\n"
+          % (cell, device, len(vals), percentile(vals, 50),
+             percentile(vals, 90), percentile(vals, 99), vals[-1]))
+    return 0
+
+
+# ----------------------------------------------------------- selftest
+
+
+def selftest():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    trace = os.path.join(root, "scripts", "testdata",
+                         "trace_small.csv")
+    golden = os.path.join(root, "scripts", "testdata",
+                          "trace_summary.golden")
+    import io
+    buf = io.StringIO()
+    summarize(parse_trace(trace), 5, buf)
+    got = buf.getvalue()
+    with open(golden, "r", encoding="utf-8") as f:
+        want = f.read()
+    if got == want:
+        print("trace_summary selftest passed: %d golden lines"
+              % len(want.splitlines()))
+        return 0
+    import difflib
+    sys.stderr.write("trace_summary selftest FAILED:\n")
+    sys.stderr.writelines(difflib.unified_diff(
+        want.splitlines(keepends=True), got.splitlines(keepends=True),
+        fromfile="golden", tofile="got"))
+    return 1
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", nargs="?", help="trace file (.csv or JSON)")
+    ap.add_argument("--top", type=int, default=5,
+                    help="job spans to list (default 5)")
+    ap.add_argument("--validate", action="store_true",
+                    help="check file structure instead of summarizing")
+    ap.add_argument("--selftest", action="store_true",
+                    help="summarize the committed reduced trace and "
+                         "diff against the golden output")
+    args = ap.parse_args(argv)
+    if args.selftest:
+        return selftest()
+    if not args.trace:
+        ap.error("a trace file is required (or --selftest)")
+    if args.validate:
+        return validate(args.trace)
+    return summarize(parse_trace(args.trace), args.top, sys.stdout)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # Downstream (e.g. `| head`) closed the pipe; not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

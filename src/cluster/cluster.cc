@@ -1,7 +1,10 @@
 #include "src/cluster/cluster.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
+
+#include "src/trace/trace.hh"
 
 namespace conduit::cluster
 {
@@ -28,6 +31,15 @@ Cluster::Cluster(ClusterOptions opts,
     // simulated state — policies that declared needsProbes()==false
     // never look past .size() anyway.
     idleProbes_.resize(devices_.size());
+
+    // Attach the fleet tracer after construction, so image-forked
+    // devices (which always start traceless) pick it up too.
+    tracer_ = std::move(opts.tracer);
+    if (tracer_) {
+        for (std::size_t d = 0; d < devices_.size(); ++d)
+            devices_[d]->setTracer(
+                tracer_, static_cast<std::uint32_t>(d));
+    }
 }
 
 RoutedJob
@@ -54,10 +66,14 @@ Cluster::submit(const JobSpec &spec, std::size_t tenant)
     // a standalone Device runs — nothing simulates until drain(), so
     // same-tick event ordering matches the bare device exactly.
     std::size_t dev;
-    if (policy_->needsProbes() && devices_.size() > 1)
-        dev = policy_->place(view, probe(r.arrival));
-    else
+    const bool probed = policy_->needsProbes() && devices_.size() > 1;
+    std::vector<DeviceProbe> probes;
+    if (probed) {
+        probes = probe(r.arrival);
+        dev = policy_->place(view, probes);
+    } else {
         dev = policy_->place(view, idleProbes_);
+    }
     if (dev >= devices_.size())
         throw std::logic_error(
             "Cluster: placement returned an out-of-range device");
@@ -66,6 +82,33 @@ Cluster::submit(const JobSpec &spec, std::size_t tenant)
     JobSpec placed = spec;
     placed.arrival = r.arrival;
     r.id = devices_[dev]->submit(placed);
+    if (tracer_ && tracer_->wants(trace::Category::Placement)) {
+        trace::Event e;
+        e.cat = trace::Category::Placement;
+        e.kind = trace::EventKind::Placement;
+        e.device = static_cast<std::uint32_t>(dev);
+        e.start = r.arrival;
+        e.end = r.arrival;
+        e.a = tenant;
+        e.b = r.id;
+        e.c = probed ? probes[dev].pendingJobs : 0;
+        // Decision record: policy name plus the probe snapshot it saw
+        // (comma-free so the CSV exporter's tag column stays intact).
+        std::string why = policy_->name();
+        if (probed) {
+            char buf[64];
+            for (std::size_t d = 0; d < probes.size(); ++d) {
+                std::snprintf(buf, sizeof buf,
+                              " d%zu:p%zu/w%zu/u%.4f", d,
+                              probes[d].pendingJobs,
+                              probes[d].waitingJobs,
+                              probes[d].dieBusyFraction);
+                why += buf;
+            }
+        }
+        e.str = tracer_->intern(why);
+        tracer_->record(e);
+    }
     routed_.push_back(r);
     return r;
 }

@@ -63,6 +63,14 @@ struct ClusterOptions
 {
     /** One seed per device, in device-index order. */
     std::vector<DeviceSeed> devices;
+
+    /**
+     * Fleet-wide trace sink; null disables tracing. Attached to every
+     * device after construction (device index = trace device id), so
+     * image-forked devices trace too — forking strips per-device
+     * tracers, never a fleet's.
+     */
+    std::shared_ptr<trace::Tracer> tracer;
 };
 
 /** One routed job's fleet-level record. */
@@ -161,6 +169,7 @@ class Cluster
     std::unique_ptr<PlacementPolicy> policy_;
     std::vector<RoutedJob> routed_;
     std::vector<DeviceProbe> idleProbes_; // probe-free path
+    std::shared_ptr<trace::Tracer> tracer_;
     Tick base_ = 0;
     Tick lastArrival_ = 0;
 };

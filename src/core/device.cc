@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/trace/trace.hh"
+
 namespace conduit
 {
 
@@ -64,11 +66,18 @@ RegionAllocator::release(std::uint64_t base, std::uint64_t pages)
 Device::Device(DeviceOptions opts)
     : opts_(std::move(opts)), engine_(opts_.config)
 {
+    if (opts_.tracer)
+        setTracer(opts_.tracer, opts_.traceDevice);
 }
 
 Device::Device(const DeviceImage &img)
     : opts_(img.options), engine_(opts_.config)
 {
+    // Forked devices start with an empty trace: a tracer is live
+    // observer wiring, not simulated state, so it never crosses the
+    // snapshot boundary. (snapshot() strips it too — this reset
+    // guards images built by hand.)
+    opts_.tracer.reset();
     engine_.restoreImage(img.engine);
     regions_.reset(img.capacityPages);
     engine_.sessionScheduler().setStreamDone(
@@ -99,6 +108,7 @@ Device::snapshot()
 
     DeviceImage img;
     img.options = opts_;
+    img.options.tracer.reset(); // trace buffers are not device state
     img.capacityPages = regions_.capacity();
     img.engine = engine_.captureImage();
     img.makespan = makespan_;
@@ -190,6 +200,8 @@ Device::scheduleArrival(Job &job)
 void
 Device::admit(Job &job)
 {
+    if (tracer_)
+        sampleQueues();
     if (auto base = regions_.allocate(job.footprint)) {
         attach(job, *base);
         return;
@@ -235,6 +247,23 @@ Device::retire(Job &job)
     job.state = Job::State::Retired;
     ++retired_;
     makespan_ = std::max(makespan_, end);
+
+    if (tracer_) {
+        if (tracer_->wants(trace::Category::Job)) {
+            trace::Event e;
+            e.cat = trace::Category::Job;
+            e.kind = trace::EventKind::Job;
+            e.device = traceDevice_;
+            e.start = job.result.arrival;
+            e.end = end;
+            e.a = job.result.id;
+            e.b = job.result.admitted;
+            e.c = job.result.pages;
+            e.str = tracer_->intern(job.result.result.workload);
+            tracer_->record(e);
+        }
+        sampleQueues();
+    }
 
     // Drop everything the retired job no longer needs, so a
     // long-lived device serving an unbounded job stream holds per
@@ -384,6 +413,39 @@ Tick
 Device::now() const
 {
     return session_ ? engine_.sessionQueue().now() : 0;
+}
+
+void
+Device::setTracer(std::shared_ptr<trace::Tracer> t,
+                  std::uint32_t device)
+{
+    tracer_ = std::move(t);
+    traceDevice_ = device;
+    nextQueueSampleAt_ = 0;
+    engine_.setTracer(tracer_.get(), device);
+}
+
+void
+Device::sampleQueues()
+{
+    if (!tracer_->wants(trace::Category::Queue))
+        return;
+    const Tick t = now();
+    if (t < nextQueueSampleAt_)
+        return;
+    const Tick step = std::max<Tick>(1, tracer_->sampleInterval());
+    while (nextQueueSampleAt_ <= t)
+        nextQueueSampleAt_ += step;
+    trace::Event e;
+    e.cat = trace::Category::Queue;
+    e.kind = trace::EventKind::JobQueueSample;
+    e.device = traceDevice_;
+    e.start = t;
+    e.end = t;
+    e.a = unfinishedJobs();
+    e.b = waiting_.size();
+    e.c = regions_.inUse();
+    tracer_->record(e);
 }
 
 sched::MultiRunResult

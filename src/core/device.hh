@@ -133,6 +133,16 @@ struct DeviceOptions
 
     /** Retirement policy (see RetirePolicy). */
     RetirePolicy retire = RetirePolicy::OnQuiesce;
+
+    /**
+     * Trace sink shared with the caller; null disables tracing. Never
+     * captured into a DeviceImage — snapshot() strips it and a forked
+     * device starts with no tracer (empty trace).
+     */
+    std::shared_ptr<trace::Tracer> tracer;
+
+    /** Device id tagging this device's events in shared traces. */
+    std::uint32_t traceDevice = 0;
 };
 
 /**
@@ -395,6 +405,14 @@ class Device
 
     const DeviceOptions &options() const { return opts_; }
 
+    /**
+     * Attach a tracer (null detaches); @p device tags this device's
+     * events in multi-device traces. Replaces any tracer installed
+     * via DeviceOptions.
+     */
+    void setTracer(std::shared_ptr<trace::Tracer> t,
+                   std::uint32_t device = 0);
+
   private:
     struct Job
     {
@@ -459,6 +477,9 @@ class Device
      */
     void advanceToQuiescence();
 
+    /** Record a Queue admission-state sample if the cadence elapsed. */
+    void sampleQueues();
+
     DeviceOptions opts_;
     Engine engine_;
     // lint: transient(memoized compiled programs; rebuilt on demand, never observable)
@@ -473,6 +494,14 @@ class Device
     std::unordered_map<const sched::ExecContext *, JobId> byCtx_;
     std::size_t retired_ = 0;
     Tick makespan_ = 0;
+
+    /** @name Tracing wiring (never part of a DeviceImage) @{ */
+    // lint: transient-begin(passive observer wiring; stripped from snapshots so forks start with empty traces)
+    std::shared_ptr<trace::Tracer> tracer_;
+    std::uint32_t traceDevice_ = 0;
+    Tick nextQueueSampleAt_ = 0;
+    // lint: transient-end
+    /** @} */
 };
 
 /**

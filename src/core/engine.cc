@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/sim/event_queue.hh"
+#include "src/trace/trace.hh"
 
 namespace conduit
 {
@@ -755,11 +756,23 @@ Engine::dispatchNext(sched::ExecContext &ctx, Tick event_now)
     const Tick ready = std::max(disp_start, dep_ready);
     result.latencyUs.add(ticksToUs(done > ready ? done - ready : 0));
 
-    if (opts_.recordTimeline) {
-        result.resourceTrace.push_back(
-            static_cast<std::uint8_t>(target));
-        result.opTrace.push_back(static_cast<std::uint8_t>(instr.op));
-        result.completionTrace.push_back(done);
+    if (tracer_) {
+        if (tracer_->wants(trace::Category::Occupancy)) {
+            trace::Event e;
+            e.cat = trace::Category::Occupancy;
+            e.kind = trace::EventKind::Instr;
+            e.device = traceDevice_;
+            e.start = ready;
+            e.end = done;
+            e.a = instr.id;
+            e.b = static_cast<std::uint64_t>(instr.op);
+            e.c = static_cast<std::uint64_t>(target);
+            if (target == Target::Ifp)
+                e.lane = fragmentsFor(instr).front().dieIndex;
+            e.str = tracer_->intern(ctx.name);
+            tracer_->record(e);
+        }
+        maybeSampleBacklog(done);
     }
 
     ctx_ = nullptr;
@@ -794,6 +807,18 @@ Engine::drainStream(sched::ExecContext &ctx, Tick after)
         m.dirty = false;
         ++pages;
     }
+    if (tracer_ && pages > 0 &&
+        tracer_->wants(trace::Category::Occupancy)) {
+        trace::Event e;
+        e.cat = trace::Category::Occupancy;
+        e.kind = trace::EventKind::HostDrain;
+        e.device = traceDevice_;
+        e.start = after;
+        e.end = end;
+        e.a = pages;
+        e.str = tracer_->intern(ctx.name);
+        tracer_->record(e);
+    }
     stats_.counter("engine.drained_pages").inc(pages);
     ctx_ = nullptr;
     return end;
@@ -827,6 +852,31 @@ Engine::sessionBegin(std::uint64_t capacity_pages,
     nextScrubAt_ = cfg_.reliability.scrubIntervalTicks;
     scrubCursor_ = 0;
     scrubScheduled_ = false;
+}
+
+void
+Engine::maybeSampleBacklog(Tick now)
+{
+    if (!tracer_->wants(trace::Category::Queue) ||
+        now < nextTraceSampleAt_)
+        return;
+    const Tick step = std::max<Tick>(1, tracer_->sampleInterval());
+    while (nextTraceSampleAt_ <= now)
+        nextTraceSampleAt_ += step;
+    Tick die_backlog = 0;
+    for (std::uint32_t d = 0; d < nand_.numDies(); ++d)
+        die_backlog = std::max(die_backlog, nand_.dieBacklog(d, now));
+    trace::Event e;
+    e.cat = trace::Category::Queue;
+    e.kind = trace::EventKind::BacklogSample;
+    e.device = traceDevice_;
+    e.lane = static_cast<std::uint32_t>(busyDieFraction(now) * 1e6);
+    e.start = now;
+    e.end = now;
+    e.a = isp_.backlog(now);
+    e.b = dram_.bankBacklog(now);
+    e.c = die_backlog;
+    tracer_->record(e);
 }
 
 double
@@ -886,6 +936,7 @@ Engine::runScrubPass()
     // Wear-leveling rides the same pass budget: while the pool's
     // erase-count spread exceeds the gap, migrate the coldest full
     // block so its young erases rejoin the allocator's rotation.
+    std::uint32_t migrations = 0;
     if (cfg_.reliability.wearLevelEnabled) {
         for (std::uint32_t m = 0;
              m < cfg_.reliability.wearLevelMaxPerPass; ++m) {
@@ -896,7 +947,19 @@ Engine::runScrubPass()
             if (!ftl_.scrubBlock(static_cast<std::uint64_t>(bi), now))
                 break;
             rel_->noteLevelMigration();
+            ++migrations;
         }
+    }
+    if (tracer_ && tracer_->wants(trace::Category::Reliability)) {
+        trace::Event e;
+        e.cat = trace::Category::Reliability;
+        e.kind = trace::EventKind::Scrub;
+        e.device = traceDevice_;
+        e.start = now;
+        e.end = now;
+        e.a = refreshed;
+        e.b = migrations;
+        tracer_->record(e);
     }
     // No self-rescheduling: the next dispatch re-arms the task, so
     // the queue drains once foreground traffic stops.

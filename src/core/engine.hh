@@ -66,6 +66,11 @@
 namespace conduit
 {
 
+namespace trace
+{
+class Tracer;
+}
+
 /** Sentinel: let recordWrite derive the latch die per page. */
 constexpr std::uint32_t kAutoDie = ~0U;
 
@@ -188,6 +193,23 @@ class Engine : public sched::StreamDispatcher
      */
     double busyDieFraction(Tick now) const;
 
+    /**
+     * Attach a tracer (null detaches); @p device tags this engine's
+     * events in multi-device traces. Tracing wiring is transient: it
+     * survives sessionBegin/restoreImage but is never captured in an
+     * Image, and hooks only record already-computed simulated
+     * quantities — a traced run's simulated outputs are byte-
+     * identical to the untraced run's.
+     */
+    void
+    setTracer(trace::Tracer *t, std::uint32_t device = 0)
+    {
+        tracer_ = t;
+        traceDevice_ = device;
+        nextTraceSampleAt_ = 0;
+        nand_.setTracer(t, device);
+    }
+
   private:
     /** Where the freshest copy of a logical page lives. */
     enum class Loc : std::uint8_t { Flash, Latch, Dram };
@@ -281,6 +303,13 @@ class Engine : public sched::StreamDispatcher
                    Tick earliest);
 
     /**
+     * Record a Queue backlog sample if the sample cadence elapsed.
+     * Piggybacks on dispatch events — pure calendar reads, no
+     * scheduling — so sampling never perturbs the simulation.
+     */
+    void maybeSampleBacklog(Tick now);
+
+    /**
      * Final result drain for one stream's page region, to the host
      * over PCIe (§4.4 trigger ii). The PCIe link is shared: drains
      * of co-run streams serialize on its calendar.
@@ -363,6 +392,14 @@ class Engine : public sched::StreamDispatcher
      * completed run it points at the first stream (feature probes).
      */
     sched::ExecContext *ctx_ = nullptr;
+
+    /** @name Tracing wiring (never part of an Image) @{ */
+    // lint: transient-begin(passive observer wiring re-attached by the owner; trace buffers are not simulated state)
+    trace::Tracer *tracer_ = nullptr;
+    std::uint32_t traceDevice_ = 0;
+    Tick nextTraceSampleAt_ = 0;
+    // lint: transient-end
+    /** @} */
 
     // DRAM staging region LRU (capacity-limited page residency,
     // shared by all streams — capacity pressure is device-wide).

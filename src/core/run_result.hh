@@ -14,7 +14,6 @@
 #include <array>
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "src/offload/policy.hh"
 #include "src/sim/stats.hh"
@@ -26,9 +25,6 @@ namespace conduit
 /** Engine run options (device-wide; shared by all co-run streams). */
 struct EngineOptions
 {
-    /** Record per-instruction target/op traces (Fig. 10). */
-    bool recordTimeline = false;
-
     /** Probability of a transient fault per executed instruction. */
     double transientFaultRate = 0.0;
 
@@ -102,11 +98,6 @@ struct RunResult
      * self-perf metadata — never part of the simulated results.
      */
     std::uint64_t eventsFired = 0;
-
-    /** Per-instruction traces (only with recordTimeline). */
-    std::vector<std::uint8_t> resourceTrace;
-    std::vector<std::uint8_t> opTrace;
-    std::vector<Tick> completionTrace;
 };
 
 } // namespace conduit

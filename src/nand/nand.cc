@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/reliability/reliability.hh"
+#include "src/trace/trace.hh"
 
 namespace conduit
 {
@@ -79,15 +80,28 @@ ServiceInterval
 NandArray::readPage(const FlashAddress &a, Tick earliest)
 {
     Tick dur = cfg_.cmdTicks + cfg_.readTicks;
-    if (rel_) {
-        // ECC retry ladder: worn / retention-aged blocks stretch the
-        // sense. Charged as die-busy time, so it queues like tR and
-        // co-run streams see it in the die backlogs.
-        dur += rel_->onRead(blockIndexOf(a), earliest);
-    }
+    // ECC retry ladder: worn / retention-aged blocks stretch the
+    // sense. Charged as die-busy time, so it queues like tR and
+    // co-run streams see it in the die backlogs.
+    const Tick penalty =
+        rel_ ? rel_->onRead(blockIndexOf(a), earliest) : 0;
+    dur += penalty;
     auto iv = dies_[dieIndex(a)].acquire(earliest, dur);
     if (statReads_)
         statReads_->inc();
+    if (tracer_ && penalty > 0 &&
+        tracer_->wants(trace::Category::Reliability)) {
+        trace::Event e;
+        e.cat = trace::Category::Reliability;
+        e.kind = trace::EventKind::EccStall;
+        e.device = traceDevice_;
+        e.lane = dieIndex(a);
+        e.start = iv.start;
+        e.end = iv.end;
+        e.a = blockIndexOf(a);
+        e.b = penalty;
+        tracer_->record(e);
+    }
     return iv;
 }
 

@@ -30,6 +30,11 @@ namespace reliability
 class ReliabilityModel;
 }
 
+namespace trace
+{
+class Tracer;
+}
+
 /** Physical page number (dense index over the whole device). */
 using Ppn = std::uint64_t;
 
@@ -107,6 +112,16 @@ class NandArray
     void setReliability(reliability::ReliabilityModel *rel)
     {
         rel_ = rel;
+    }
+
+    /**
+     * Attach a tracer (null detaches). ECC-retry stalls charged by
+     * readPage are recorded against @p device's per-die tracks.
+     */
+    void setTracer(trace::Tracer *t, std::uint32_t device)
+    {
+        tracer_ = t;
+        traceDevice_ = device;
     }
 
     /**
@@ -234,6 +249,8 @@ class NandArray
     // lint: transient-begin(wiring into the owning Engine, re-bound by its constructor on restore)
     StatSet *stats_;
     reliability::ReliabilityModel *rel_ = nullptr;
+    trace::Tracer *tracer_ = nullptr;
+    std::uint32_t traceDevice_ = 0;
     // lint: transient-end
 
     /** Cached strides (innermost first) and the pages-per-die span. */

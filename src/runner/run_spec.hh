@@ -22,6 +22,7 @@
 #include "src/core/engine.hh"
 #include "src/offload/policy.hh"
 #include "src/sim/config.hh"
+#include "src/trace/trace.hh"
 #include "src/workloads/workloads.hh"
 
 namespace conduit::runner
@@ -384,6 +385,15 @@ struct ClusterRunSpec
 
     /** Policy the warm traffic runs under (fixed per image). */
     std::string warmupTechnique = "Conduit";
+
+    /**
+     * Cell-level tracing config; when enabled it overrides the
+     * sweep-wide SweepOptions::trace for this cell. The fleet shares
+     * one Tracer across its devices (device index = trace device id),
+     * so placement decisions and per-device activity land in one
+     * trace.
+     */
+    trace::TraceConfig trace;
 };
 
 /**

@@ -21,7 +21,8 @@ usage(const char *prog, int code, const char *extra_usage = nullptr)
         stderr,
         "usage: %s [--threads N] [--scale X] [--workloads a,b]\n"
         "          [--techniques a,b] [--csv PATH] [--json PATH]\n"
-        "          [--cell-perf PATH] [--list-workloads]\n"
+        "          [--cell-perf PATH] [--trace PATH]\n"
+        "          [--trace-filter cat,cat] [--list-workloads]\n"
         "          [--list-techniques] [--list-policies]\n",
         prog);
     if (extra_usage)
@@ -105,6 +106,13 @@ SweepCli::parse(int argc, char **argv, const FlagHandler &extra,
             cli.jsonPath = value();
         else if (arg == "--cell-perf")
             cli.cellPerfPath = value();
+        else if (arg == "--trace")
+            cli.tracePath = value();
+        else if (arg == "--trace-filter") {
+            cli.traceFilter = value();
+            if (!trace::parseCategories(cli.traceFilter))
+                badValue(argv[0], arg, cli.traceFilter);
+        }
         else if (extra && extra(arg, value))
             continue;
         else {
@@ -114,6 +122,22 @@ SweepCli::parse(int argc, char **argv, const FlagHandler &extra,
         }
     }
     return cli;
+}
+
+SweepOptions
+SweepCli::runnerOptions() const
+{
+    SweepOptions opts;
+    opts.threads = threads;
+    if (!tracePath.empty()) {
+        // parse() already validated the filter, so the optional is
+        // always engaged here; empty filter means every category.
+        opts.trace.categories =
+            traceFilter.empty()
+                ? trace::kAllCategories
+                : *trace::parseCategories(traceFilter);
+    }
+    return opts;
 }
 
 void
@@ -174,8 +198,21 @@ SweepCli::writeCellPerfCsv(const std::string &path,
 }
 
 int
-SweepCli::finish(const SweepResult &sweep,
-                 const SweepPerf *perf) const
+SweepCli::writeTraces(const SweepRunner &runner) const
+{
+    if (tracePath.empty())
+        return 0;
+    if (!trace::writeTraceFile(tracePath, runner.lastTraces())) {
+        std::fprintf(stderr, "error: could not write %s\n",
+                     tracePath.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+int
+SweepCli::finish(const SweepResult &sweep, const SweepPerf *perf,
+                 const SweepRunner *runner) const
 {
     int status = 0;
     if (!csvPath.empty() && !sweep.writeCsvFile(csvPath)) {
@@ -198,6 +235,16 @@ SweepCli::finish(const SweepResult &sweep,
             std::fprintf(stderr, "error: could not write %s\n",
                          cellPerfPath.c_str());
             status = 1;
+        }
+    }
+    if (!tracePath.empty()) {
+        if (!runner) {
+            std::fprintf(stderr,
+                         "error: this bench does not run through a "
+                         "SweepRunner sweep; --trace ignored\n");
+            status = 1;
+        } else {
+            status |= writeTraces(*runner);
         }
     }
     std::fprintf(stderr,

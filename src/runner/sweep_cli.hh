@@ -11,6 +11,10 @@
  *   --csv PATH         write machine-readable rows as CSV
  *   --json PATH        write machine-readable rows as JSON
  *   --cell-perf PATH   write per-cell wall-clock attribution as CSV
+ *   --trace PATH       write a simulated-time trace of every cell
+ *                      (.csv = compact CSV, else Perfetto JSON)
+ *   --trace-filter c,c limit tracing to the named categories
+ *                      (job,occupancy,reliability,queue,placement)
  *   --list-workloads   print the workload names --workloads accepts
  *   --list-techniques  print the technique names --techniques accepts
  *   --list-policies    print every name makePolicy() accepts
@@ -53,6 +57,17 @@ struct SweepCli
     std::string cellPerfPath;
 
     /**
+     * --trace PATH: write the sweep's per-cell simulated-time traces
+     * (SweepRunner::lastTraces()). Tracing never perturbs simulated
+     * results, and the trace file itself is bit-identical across
+     * thread counts and repeats.
+     */
+    std::string tracePath;
+
+    /** --trace-filter: category list for --trace (empty = all). */
+    std::string traceFilter;
+
+    /**
      * --list-workloads / --list-techniques: defer the listing until
      * the bench's matrix exists so the printed names are exactly the
      * labels its filters accept (custom axes included). configure()
@@ -84,8 +99,8 @@ struct SweepCli
                           const FlagHandler &extra = {},
                           const char *extra_usage = nullptr);
 
-    /** SweepRunner options implied by the flags. */
-    SweepOptions runnerOptions() const { return {threads}; }
+    /** SweepRunner options implied by the flags (tracing included). */
+    SweepOptions runnerOptions() const;
 
     /**
      * Apply the row/column filters and scale to a matrix. A
@@ -106,10 +121,21 @@ struct SweepCli
      *
      * Pass the sweep's SweepPerf (runner.lastPerf()) to service
      * --cell-perf; benches that cannot attribute per-cell perf leave
-     * it null and the flag reports itself unsupported.
+     * it null and the flag reports itself unsupported. Likewise pass
+     * @p runner to service --trace (lastTraces()); benches that
+     * collect results outside a SweepRunner sweep call writeTraces()
+     * themselves instead.
      */
     int finish(const SweepResult &sweep,
-               const SweepPerf *perf = nullptr) const;
+               const SweepPerf *perf = nullptr,
+               const SweepRunner *runner = nullptr) const;
+
+    /**
+     * Service --trace against @p runner's lastTraces(): no-op without
+     * the flag, else write the trace file.
+     * @return Process exit status contribution (0 ok, 1 on failure).
+     */
+    int writeTraces(const SweepRunner &runner) const;
 
     /**
      * Write @p perf's per-cell rows to @p path as CSV

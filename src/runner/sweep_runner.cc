@@ -299,6 +299,7 @@ SweepRunner::timedSweep(std::size_t cells, const Body &body)
     perfPerCell_.assign(cells, {});
     perfWarmWall_ = 0.0;
     perfWarmImages_ = 0;
+    traceCells_.assign(cells, {});
     const auto t0 = std::chrono::steady_clock::now();
     body();
     perfWall_ = sinceSeconds(t0);
@@ -327,6 +328,13 @@ SweepRunner::workerCount(std::size_t jobs) const
 
 RunResult
 SweepRunner::runOne(const RunSpec &spec)
+{
+    return runOneCell(spec, nullptr);
+}
+
+RunResult
+SweepRunner::runOneCell(const RunSpec &spec,
+                        const std::shared_ptr<trace::Tracer> &tracer)
 {
     // Resolve the program: explicit > generated workload.
     std::shared_ptr<const Program> prog = spec.program;
@@ -370,6 +378,8 @@ SweepRunner::runOne(const RunSpec &spec)
     auto policy = spec.policy ? spec.policy()
                               : makePolicy(spec.technique);
     Engine engine(spec.config);
+    if (tracer)
+        engine.setTracer(tracer.get());
     RunResult r = engine.run(*prog, *policy, spec.engine);
     // Label with the spec's display names (a custom policy object's
     // own name may differ, e.g. ablation variants).
@@ -380,6 +390,13 @@ SweepRunner::runOne(const RunSpec &spec)
 
 sched::MultiRunResult
 SweepRunner::runMulti(const MultiRunSpec &spec)
+{
+    return runMultiCell(spec, nullptr);
+}
+
+sched::MultiRunResult
+SweepRunner::runMultiCell(const MultiRunSpec &spec,
+                          const std::shared_ptr<trace::Tracer> &tracer)
 {
     if (spec.streams.empty())
         throw std::invalid_argument(
@@ -419,11 +436,14 @@ SweepRunner::runMulti(const MultiRunSpec &spec)
         // stream a tick-0 job on one fresh Device. Byte-identical to
         // the direct engine run (the Device equivalence contract —
         // CI diffs the two paths).
-        mr = runStreamsOnDevice(
-            makeDeviceOptions(spec.config, spec.engine, spec.params),
-            std::move(streams));
+        DeviceOptions dopts =
+            makeDeviceOptions(spec.config, spec.engine, spec.params);
+        dopts.tracer = tracer;
+        mr = runStreamsOnDevice(std::move(dopts), std::move(streams));
     } else {
         Engine engine(spec.config);
+        if (tracer)
+            engine.setTracer(tracer.get());
         mr = engine.run(std::move(streams), spec.engine);
     }
     // Label per-stream results with the slot's display technique (a
@@ -450,7 +470,10 @@ SweepRunner::runMultiAll(const std::vector<MultiRunSpec> &specs)
                     [&](std::size_t i) {
                         const auto c0 =
                             std::chrono::steady_clock::now();
-                        results[i] = runMulti(specs[i]);
+                        auto tracer = makeTracer(opts_.trace);
+                        results[i] = runMultiCell(specs[i], tracer);
+                        traceCells_[i] = {specs[i].label,
+                                          std::move(tracer)};
                         recordCell(i, specs[i].label,
                                    sinceSeconds(c0),
                                    results[i].eventsFired);
@@ -477,7 +500,8 @@ SweepRunner::buildWarmImage(const LoadRunSpec &spec)
 
 DeviceSnapshot
 SweepRunner::runLoadCell(const LoadRunSpec &spec,
-                         const DeviceImage *warm)
+                         const DeviceImage *warm,
+                         const std::shared_ptr<trace::Tracer> &tracer)
 {
     if (spec.technique == "CPU" || spec.technique == "GPU")
         throw std::invalid_argument(
@@ -520,6 +544,11 @@ SweepRunner::runLoadCell(const LoadRunSpec &spec,
             at = dev->now();
         }
     }
+    // Attach the tracer only now — after the fork (forks start
+    // traceless) or the in-place warm replay — so both steady-state
+    // modes trace exactly the measured phase.
+    if (tracer)
+        dev->setTracer(tracer);
     submitLoadJobs(*dev, spec, prog, name, spec.jobs,
                    /*warm=*/false, arrivals.get(), at);
     return dev->drain();
@@ -528,7 +557,7 @@ SweepRunner::runLoadCell(const LoadRunSpec &spec,
 DeviceSnapshot
 SweepRunner::runLoad(const LoadRunSpec &spec)
 {
-    return runLoadCell(spec, nullptr);
+    return runLoadCell(spec, nullptr, nullptr);
 }
 
 DeviceSnapshot
@@ -590,7 +619,10 @@ SweepRunner::runLoadSweep(const std::vector<LoadRunSpec> &specs,
     timedSweep(n, [&] {
         parallelFor(workerCount(n), n, [&](std::size_t i) {
             const auto c0 = std::chrono::steady_clock::now();
-            results[i] = runLoadCell(specs[i], cellImage[i].get());
+            auto tracer = makeTracer(opts_.trace);
+            results[i] =
+                runLoadCell(specs[i], cellImage[i].get(), tracer);
+            traceCells_[i] = {labels[i], std::move(tracer)};
             recordCell(i, labels[i], sinceSeconds(c0),
                        results[i].eventsFired);
         });
@@ -634,7 +666,8 @@ SweepRunner::runLoadAll(const std::vector<LoadRunSpec> &specs)
 cluster::ClusterSnapshot
 SweepRunner::runClusterCell(
     const ClusterRunSpec &spec,
-    const std::vector<std::shared_ptr<const DeviceImage>> &images)
+    const std::vector<std::shared_ptr<const DeviceImage>> &images,
+    const std::shared_ptr<trace::Tracer> &tracer)
 {
     if (spec.devices == 0)
         throw std::invalid_argument(
@@ -739,6 +772,7 @@ SweepRunner::runClusterCell(
             defaultCap += static_cast<std::uint64_t>(quota[t]) *
                 progs[t]->footprintPages;
     cluster::ClusterOptions copts;
+    copts.tracer = tracer;
     copts.devices.resize(spec.devices);
     for (std::size_t d = 0; d < spec.devices; ++d) {
         if (d < images.size() && images[d]) {
@@ -824,7 +858,14 @@ SweepRunner::runClusterAll(const std::vector<ClusterRunSpec> &specs)
     timedSweep(n, [&] {
         parallelFor(workerCount(n), n, [&](std::size_t i) {
             const auto c0 = std::chrono::steady_clock::now();
-            results[i] = runClusterCell(specs[i], cellImages[i]);
+            // A cell-level trace config overrides the sweep-wide one.
+            auto tracer = makeTracer(specs[i].trace.enabled()
+                                         ? specs[i].trace
+                                         : opts_.trace);
+            results[i] =
+                runClusterCell(specs[i], cellImages[i], tracer);
+            traceCells_[i] = {clusterCellLabel(specs[i]),
+                              std::move(tracer)};
             recordCell(i, clusterCellLabel(specs[i]),
                        sinceSeconds(c0), results[i].eventsFired);
         });
@@ -851,7 +892,11 @@ SweepRunner::run(std::vector<RunSpec> specs)
     timedSweep(n, [&] {
         parallelFor(threads, n, [&](std::size_t i) {
             const auto c0 = std::chrono::steady_clock::now();
-            results[i] = runOne(specs[i]);
+            auto tracer = makeTracer(opts_.trace);
+            results[i] = runOneCell(specs[i], tracer);
+            traceCells_[i] = {
+                specs[i].workload + "/" + specs[i].technique,
+                std::move(tracer)};
             recordCell(i,
                        specs[i].workload + "/" + specs[i].technique,
                        sinceSeconds(c0), results[i].eventsFired);

@@ -23,6 +23,7 @@
 #include "src/core/program_cache.hh"
 #include "src/runner/run_spec.hh"
 #include "src/runner/sweep_result.hh"
+#include "src/trace/export.hh"
 
 namespace conduit::runner
 {
@@ -36,6 +37,15 @@ struct SweepOptions
 {
     /** Worker threads; 0 = std::thread::hardware_concurrency(). */
     unsigned threads = 0;
+
+    /**
+     * Tracing config applied to every cell of a sweep (disabled by
+     * default). Each traced cell gets its own Tracer — cells stay
+     * independent, so traces are thread-count invariant like the
+     * results — collected via lastTraces(). Warm-image builds never
+     * trace: only the measured phase records events.
+     */
+    trace::TraceConfig trace;
 };
 
 /**
@@ -203,7 +213,36 @@ class SweepRunner
      */
     SweepPerf lastPerf() const;
 
+    /**
+     * Per-cell traces of the most recent sweep call, in spec order
+     * (tracer null when tracing was disabled — host-baseline cells
+     * keep an empty tracer so cell indices line up). Not updated by
+     * the single-cell entry points except runCluster. Read after the
+     * sweep returns — not concurrently.
+     */
+    const std::vector<trace::TraceCell> &
+    lastTraces() const
+    {
+        return traceCells_;
+    }
+
   private:
+    /** Fresh per-cell tracer, or null when @p cfg is disabled. */
+    static std::shared_ptr<trace::Tracer>
+    makeTracer(const trace::TraceConfig &cfg)
+    {
+        return cfg.enabled() ? std::make_shared<trace::Tracer>(cfg)
+                             : nullptr;
+    }
+
+    /** The shared single-spec body of run()/runOne(). */
+    RunResult runOneCell(const RunSpec &spec,
+                         const std::shared_ptr<trace::Tracer> &tracer);
+
+    /** The shared multi-tenant body of runMultiAll()/runMulti(). */
+    sched::MultiRunResult
+    runMultiCell(const MultiRunSpec &spec,
+                 const std::shared_ptr<trace::Tracer> &tracer);
     /**
      * The shared single-cell body: runLoad with an optional
      * pre-built warm image. With spec.steadyState set, the cell
@@ -213,8 +252,9 @@ class SweepRunner
      * code on the same device state, so fork and cold cells are
      * byte-identical.
      */
-    DeviceSnapshot runLoadCell(const LoadRunSpec &spec,
-                               const DeviceImage *warm);
+    DeviceSnapshot
+    runLoadCell(const LoadRunSpec &spec, const DeviceImage *warm,
+                const std::shared_ptr<trace::Tracer> &tracer);
 
     /**
      * Sweep @p specs with warm-image sharing: distinct warm images
@@ -235,7 +275,8 @@ class SweepRunner
     cluster::ClusterSnapshot runClusterCell(
         const ClusterRunSpec &spec,
         const std::vector<std::shared_ptr<const DeviceImage>>
-            &images);
+            &images,
+        const std::shared_ptr<trace::Tracer> &tracer);
 
     /** Time @p body, tallying cells/events into lastPerf(). */
     template <typename Body>
@@ -257,6 +298,9 @@ class SweepRunner
     std::vector<SweepPerf::CellPerf> perfPerCell_;
     double perfWarmWall_ = 0.0;
     std::size_t perfWarmImages_ = 0;
+
+    /** Per-cell traces of the last sweep (see lastTraces()). */
+    std::vector<trace::TraceCell> traceCells_;
 };
 
 } // namespace conduit::runner

@@ -1,0 +1,371 @@
+#include "src/trace/export.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+namespace conduit::trace
+{
+
+namespace
+{
+
+/** Display name of @p c (the CSV filter vocabulary). */
+const char *
+catName(Category c)
+{
+    switch (c) {
+      case Category::Job: return "job";
+      case Category::Occupancy: return "occupancy";
+      case Category::Reliability: return "reliability";
+      case Category::Queue: return "queue";
+      case Category::Placement: return "placement";
+    }
+    return "?";
+}
+
+const char *
+kindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Job: return "job";
+      case EventKind::Instr: return "instr";
+      case EventKind::HostDrain: return "host-drain";
+      case EventKind::EccStall: return "ecc-stall";
+      case EventKind::Scrub: return "scrub";
+      case EventKind::BacklogSample: return "backlog";
+      case EventKind::JobQueueSample: return "job-queue";
+      case EventKind::Placement: return "placement";
+    }
+    return "?";
+}
+
+/** printf-append; every numeric field goes through here. */
+void
+appendf(std::string &out, const char *fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    if (n > 0)
+        out.append(buf, std::min<std::size_t>(
+                            static_cast<std::size_t>(n),
+                            sizeof buf - 1));
+}
+
+/**
+ * Append @p t as an exact decimal microsecond value: integer us,
+ * then the picosecond remainder as six fractional digits. Integer
+ * arithmetic only — no rounding, so repeats render identically.
+ */
+void
+appendUs(std::string &out, Tick t)
+{
+    appendf(out, "%llu.%06llu",
+            static_cast<unsigned long long>(t / kPsPerUs),
+            static_cast<unsigned long long>(t % kPsPerUs));
+}
+
+/** JSON string escape (quotes, backslashes, control chars). */
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20)
+                appendf(out, "\\u%04x",
+                        static_cast<unsigned>(
+                            static_cast<unsigned char>(ch)));
+            else
+                out += ch;
+        }
+    }
+    out += '"';
+}
+
+/** Track-id layout within one cell's process. @{ */
+constexpr std::uint32_t kTracksPerDevice = 4096;
+constexpr std::uint32_t kTrackJobs = 0;
+constexpr std::uint32_t kTrackIsp = 1;
+constexpr std::uint32_t kTrackPud = 2;
+constexpr std::uint32_t kTrackHost = 3;
+constexpr std::uint32_t kTrackReliability = 4;
+constexpr std::uint32_t kTrackPlacement = 6;
+constexpr std::uint32_t kTrackDieBase = 16;
+/** @} */
+
+/** Track (tid) of @p e; samples ("C" events) carry no track. */
+std::uint32_t
+trackOf(const Event &e)
+{
+    const std::uint32_t base = e.device * kTracksPerDevice;
+    switch (e.kind) {
+      case EventKind::Job: return base + kTrackJobs;
+      case EventKind::Instr:
+        // Target enum order: Isp, Pud, Ifp (see src/sim/types /
+        // offload policy); IFP occupancy lands on its die's track.
+        if (e.c == 2)
+            return base + kTrackDieBase + e.lane;
+        return base + (e.c == 1 ? kTrackPud : kTrackIsp);
+      case EventKind::HostDrain: return base + kTrackHost;
+      case EventKind::EccStall: return base + kTrackDieBase + e.lane;
+      case EventKind::Scrub: return base + kTrackReliability;
+      case EventKind::Placement: return base + kTrackPlacement;
+      case EventKind::BacklogSample:
+      case EventKind::JobQueueSample: return base;
+    }
+    return base;
+}
+
+/** Human name of @p track within device @p dev. */
+std::string
+trackName(std::uint32_t dev, std::uint32_t track)
+{
+    char buf[48];
+    const std::uint32_t local = track % kTracksPerDevice;
+    const char *what = nullptr;
+    switch (local) {
+      case kTrackJobs: what = "jobs"; break;
+      case kTrackIsp: what = "isp"; break;
+      case kTrackPud: what = "pud"; break;
+      case kTrackHost: what = "host"; break;
+      case kTrackReliability: what = "reliability"; break;
+      case kTrackPlacement: what = "placement"; break;
+      default: break;
+    }
+    if (what)
+        std::snprintf(buf, sizeof buf, "dev%u %s", dev, what);
+    else
+        std::snprintf(buf, sizeof buf, "dev%u die%u", dev,
+                      local - kTrackDieBase);
+    return buf;
+}
+
+/** Emit one "X"/"i" event's shared prefix (ph..ts). */
+void
+appendEventHead(std::string &out, const char *ph, std::size_t pid,
+                std::uint32_t tid, const char *name, Category cat,
+                Tick ts)
+{
+    appendf(out, "{\"ph\":\"%s\",\"pid\":%zu,\"tid\":%u,\"name\":",
+            ph, pid, tid);
+    appendJsonString(out, name);
+    appendf(out, ",\"cat\":\"%s\",\"ts\":", catName(cat));
+    appendUs(out, ts);
+}
+
+} // namespace
+
+std::string
+toCsv(const std::vector<TraceCell> &cells)
+{
+    std::string out =
+        "cell,device,cat,kind,lane,start_ps,end_ps,a,b,c,tag\n";
+    for (const TraceCell &cell : cells) {
+        if (!cell.tracer)
+            continue;
+        for (const Event &e : cell.tracer->events()) {
+            out += cell.label;
+            appendf(out, ",%u,%s,%s,%u,%llu,%llu,%llu,%llu,%llu,",
+                    e.device, catName(e.cat), kindName(e.kind),
+                    e.lane, static_cast<unsigned long long>(e.start),
+                    static_cast<unsigned long long>(e.end),
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b),
+                    static_cast<unsigned long long>(e.c));
+            out += cell.tracer->tag(e.str);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+toJson(const std::vector<TraceCell> &cells)
+{
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    const auto comma = [&] {
+        if (!first)
+            out += ",\n";
+        else
+            out += "\n";
+        first = false;
+    };
+
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+        const TraceCell &cell = cells[ci];
+        if (!cell.tracer)
+            continue;
+        const std::size_t pid = ci + 1;
+        const Tracer &t = *cell.tracer;
+
+        comma();
+        appendf(out,
+                "{\"ph\":\"M\",\"pid\":%zu,\"name\":"
+                "\"process_name\",\"args\":{\"name\":",
+                pid);
+        appendJsonString(out, cell.label);
+        out += "}}";
+
+        // Name every span/instant track the cell used, in track
+        // order (std::map keeps the metadata deterministic).
+        std::map<std::uint32_t, std::uint32_t> tracks; // tid -> dev
+        for (const Event &e : t.events()) {
+            if (e.kind == EventKind::BacklogSample ||
+                e.kind == EventKind::JobQueueSample)
+                continue;
+            tracks.emplace(trackOf(e), e.device);
+        }
+        for (const auto &[tid, dev] : tracks) {
+            comma();
+            appendf(out,
+                    "{\"ph\":\"M\",\"pid\":%zu,\"tid\":%u,\"name\":"
+                    "\"thread_name\",\"args\":{\"name\":",
+                    pid, tid);
+            appendJsonString(out, trackName(dev, tid));
+            out += "}}";
+        }
+
+        for (const Event &e : t.events()) {
+            const std::uint32_t tid = trackOf(e);
+            comma();
+            switch (e.kind) {
+              case EventKind::Job:
+                appendEventHead(out, "X", pid, tid,
+                                t.tag(e.str).empty()
+                                    ? "job"
+                                    : t.tag(e.str).c_str(),
+                                e.cat, e.start);
+                out += ",\"dur\":";
+                appendUs(out, e.end - e.start);
+                appendf(out, ",\"args\":{\"job\":%llu,"
+                             "\"admitted_us\":",
+                        static_cast<unsigned long long>(e.a));
+                appendUs(out, e.b);
+                appendf(out, ",\"pages\":%llu}}",
+                        static_cast<unsigned long long>(e.c));
+                break;
+              case EventKind::Instr: {
+                const char *name = e.c == 2 ? "ifp"
+                    : e.c == 1              ? "pud"
+                                            : "isp";
+                appendEventHead(out, "X", pid, tid, name, e.cat,
+                                e.start);
+                out += ",\"dur\":";
+                appendUs(out, e.end - e.start);
+                appendf(out, ",\"args\":{\"id\":%llu,\"op\":%llu,"
+                             "\"stream\":",
+                        static_cast<unsigned long long>(e.a),
+                        static_cast<unsigned long long>(e.b));
+                appendJsonString(out, t.tag(e.str));
+                out += "}}";
+                break;
+              }
+              case EventKind::HostDrain:
+                appendEventHead(out, "X", pid, tid, "drain", e.cat,
+                                e.start);
+                out += ",\"dur\":";
+                appendUs(out, e.end - e.start);
+                appendf(out, ",\"args\":{\"pages\":%llu,\"stream\":",
+                        static_cast<unsigned long long>(e.a));
+                appendJsonString(out, t.tag(e.str));
+                out += "}}";
+                break;
+              case EventKind::EccStall:
+                appendEventHead(out, "X", pid, tid, "ecc", e.cat,
+                                e.start);
+                out += ",\"dur\":";
+                appendUs(out, e.end - e.start);
+                appendf(out, ",\"args\":{\"block\":%llu,"
+                             "\"penalty_us\":",
+                        static_cast<unsigned long long>(e.a));
+                appendUs(out, e.b);
+                out += "}}";
+                break;
+              case EventKind::Scrub:
+                appendEventHead(out, "i", pid, tid, "scrub", e.cat,
+                                e.start);
+                appendf(out, ",\"s\":\"t\",\"args\":{"
+                             "\"refreshed\":%llu,"
+                             "\"migrations\":%llu}}",
+                        static_cast<unsigned long long>(e.a),
+                        static_cast<unsigned long long>(e.b));
+                break;
+              case EventKind::BacklogSample:
+                appendf(out, "{\"ph\":\"C\",\"pid\":%zu,\"name\":"
+                             "\"dev%u backlog\",\"ts\":",
+                        pid, e.device);
+                appendUs(out, e.start);
+                out += ",\"args\":{\"isp_us\":";
+                appendUs(out, e.a);
+                out += ",\"pud_us\":";
+                appendUs(out, e.b);
+                out += ",\"die_us\":";
+                appendUs(out, e.c);
+                appendf(out, ",\"busy_ppm\":%u}}", e.lane);
+                break;
+              case EventKind::JobQueueSample:
+                appendf(out, "{\"ph\":\"C\",\"pid\":%zu,\"name\":"
+                             "\"dev%u queue\",\"ts\":",
+                        pid, e.device);
+                appendUs(out, e.start);
+                appendf(out,
+                        ",\"args\":{\"pending\":%llu,"
+                        "\"waiting\":%llu,\"admitted_pages\":%llu}}",
+                        static_cast<unsigned long long>(e.a),
+                        static_cast<unsigned long long>(e.b),
+                        static_cast<unsigned long long>(e.c));
+                break;
+              case EventKind::Placement:
+                appendEventHead(out, "i", pid, tid, "place", e.cat,
+                                e.start);
+                appendf(out,
+                        ",\"s\":\"t\",\"args\":{\"tenant\":%llu,"
+                        "\"job\":%llu,\"pending\":%llu,\"probe\":",
+                        static_cast<unsigned long long>(e.a),
+                        static_cast<unsigned long long>(e.b),
+                        static_cast<unsigned long long>(e.c));
+                appendJsonString(out, t.tag(e.str));
+                out += "}}";
+                break;
+            }
+        }
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+writeTraceFile(const std::string &path,
+               const std::vector<TraceCell> &cells)
+{
+    const bool csv = path.size() >= 4 &&
+        path.compare(path.size() - 4, 4, ".csv") == 0;
+    const std::string body = csv ? toCsv(cells) : toJson(cells);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::size_t n =
+        std::fwrite(body.data(), 1, body.size(), f);
+    const bool ok = n == body.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace conduit::trace

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and a
+ * compact CSV.
+ *
+ * Both formats are rendered from the Tracer's recorded event order
+ * with exact integer arithmetic (timestamps print as <us>.<ps-frac>
+ * with no floating-point rounding), so a trace file is bit-identical
+ * across host thread counts and repeats of the same sweep.
+ *
+ * JSON layout: one Perfetto "process" per sweep cell (pid = cell
+ * index + 1, process_name = the cell label). Within a cell, tracks
+ * (tids) encode device and resource: per-device job, ISP, PuD,
+ * host/PCIe, reliability, placement tracks plus one track per NAND
+ * die (IFP occupancy and ECC stalls land on the die that was busy).
+ * Occupancy and job spans are complete ("X") events, scrub and
+ * placement decisions are instants ("i"), queue samples are counter
+ * ("C") series.
+ */
+
+#ifndef CONDUIT_TRACE_EXPORT_HH
+#define CONDUIT_TRACE_EXPORT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.hh"
+
+namespace conduit::trace
+{
+
+/** One sweep cell's trace: attribution label + recorded events. */
+struct TraceCell
+{
+    std::string label;
+    /** Null for cells that did not trace (host baselines). */
+    std::shared_ptr<Tracer> tracer;
+};
+
+/**
+ * Render @p cells as compact CSV
+ * (cell,device,cat,kind,lane,start_ps,end_ps,a,b,c,tag), one row per
+ * event, cells in order. Returned as a string so tests can compare
+ * traces without touching the filesystem.
+ */
+std::string toCsv(const std::vector<TraceCell> &cells);
+
+/** Render @p cells as Chrome trace-event JSON (see file header). */
+std::string toJson(const std::vector<TraceCell> &cells);
+
+/**
+ * Write @p cells to @p path: CSV when the path ends in ".csv",
+ * Chrome trace-event JSON otherwise.
+ * @return false when the file could not be written.
+ */
+bool writeTraceFile(const std::string &path,
+                    const std::vector<TraceCell> &cells);
+
+} // namespace conduit::trace
+
+#endif // CONDUIT_TRACE_EXPORT_HH

@@ -1,0 +1,78 @@
+#include "src/trace/trace.hh"
+
+namespace conduit::trace
+{
+
+const std::vector<std::string> &
+categoryNames()
+{
+    static const std::vector<std::string> names = {
+        "job", "occupancy", "reliability", "queue", "placement"};
+    return names;
+}
+
+std::optional<std::uint32_t>
+parseCategories(const std::string &csv)
+{
+    if (csv.empty())
+        return kAllCategories;
+    const std::vector<std::string> &names = categoryNames();
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::size_t begin = pos;
+        std::size_t end = comma;
+        while (begin < end && csv[begin] == ' ')
+            ++begin;
+        while (end > begin && csv[end - 1] == ' ')
+            --end;
+        const std::string name = csv.substr(begin, end - begin);
+        if (name == "all") {
+            mask |= kAllCategories;
+        } else if (!name.empty()) {
+            bool known = false;
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                if (names[i] == name) {
+                    mask |= 1u << i;
+                    known = true;
+                    break;
+                }
+            }
+            if (!known)
+                return std::nullopt;
+        }
+        pos = comma + 1;
+    }
+    return mask == 0 ? std::optional<std::uint32_t>() : mask;
+}
+
+InstructionTimeline
+instructionTimeline(const Tracer &t, const std::string &stream)
+{
+    InstructionTimeline tl;
+    const std::uint32_t want =
+        stream.empty() ? 0 : [&] {
+            // A stream that never dispatched has no interned tag;
+            // scan the tag table without mutating the tracer.
+            const auto &tags = t.strings();
+            for (std::size_t i = 1; i < tags.size(); ++i)
+                if (tags[i] == stream)
+                    return static_cast<std::uint32_t>(i);
+            return ~0u;
+        }();
+    for (const Event &e : t.events()) {
+        if (e.kind != EventKind::Instr)
+            continue;
+        if (!stream.empty() && e.str != want)
+            continue;
+        tl.resource.push_back(static_cast<std::uint8_t>(e.c));
+        tl.op.push_back(static_cast<std::uint8_t>(e.b));
+        tl.completion.push_back(e.end);
+    }
+    return tl;
+}
+
+} // namespace conduit::trace

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/engine.hh"
+#include "src/trace/trace.hh"
 
 namespace conduit
 {
@@ -18,6 +19,16 @@ SsdConfig
 testCfg()
 {
     return SsdConfig::scaled(1.0 / 256.0);
+}
+
+/** An occupancy-only tracer (the instruction-timeline source). */
+trace::Tracer
+occupancyTracer()
+{
+    trace::TraceConfig cfg;
+    cfg.categories =
+        static_cast<std::uint32_t>(trace::Category::Occupancy);
+    return trace::Tracer(cfg);
 }
 
 /**
@@ -50,16 +61,18 @@ chainProgram(std::size_t n, OpCode op = OpCode::Add,
 TEST(Engine, RunsAndProducesMonotoneChainCompletions)
 {
     Engine eng(testCfg());
+    trace::Tracer tracer = occupancyTracer();
+    eng.setTracer(&tracer);
     ConduitPolicy pol;
-    EngineOptions opts;
-    opts.recordTimeline = true;
-    auto r = eng.run(chainProgram(16), pol, opts);
+    auto r = eng.run(chainProgram(16), pol);
     EXPECT_EQ(r.instrCount, 16u);
     EXPECT_GT(r.execTime, 0u);
-    ASSERT_EQ(r.completionTrace.size(), 16u);
+    const trace::InstructionTimeline tl =
+        trace::instructionTimeline(tracer);
+    ASSERT_EQ(tl.completion.size(), 16u);
     // Serial RAW chain: completions strictly increase.
-    for (std::size_t i = 1; i < r.completionTrace.size(); ++i)
-        EXPECT_GT(r.completionTrace[i], r.completionTrace[i - 1]);
+    for (std::size_t i = 1; i < tl.completion.size(); ++i)
+        EXPECT_GT(tl.completion[i], tl.completion[i - 1]);
 }
 
 TEST(Engine, IndependentInstructionsOverlap)

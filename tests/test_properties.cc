@@ -15,6 +15,7 @@
 #include "src/sim/event_queue.hh"
 #include "src/sim/rng.hh"
 #include "src/sim/server.hh"
+#include "src/trace/trace.hh"
 
 namespace conduit
 {
@@ -24,6 +25,16 @@ namespace
 class RandomSeeds : public ::testing::TestWithParam<std::uint64_t>
 {
 };
+
+/** An occupancy-only tracer (the instruction-timeline source). */
+trace::Tracer
+occupancyTracer()
+{
+    trace::TraceConfig cfg;
+    cfg.categories =
+        static_cast<std::uint32_t>(trace::Category::Occupancy);
+    return trace::Tracer(cfg);
+}
 
 TEST_P(RandomSeeds, ServerIntervalsNeverOverlapAndFcfsHolds)
 {
@@ -127,31 +138,32 @@ TEST_P(RandomSeeds, RandomProgramsCompleteWithConsistentAccounting)
 {
     const Program prog = randomProgram(GetParam(), 120);
     Engine eng(SsdConfig::scaled(1.0 / 256.0));
+    trace::Tracer tracer = occupancyTracer();
+    eng.setTracer(&tracer);
     ConduitPolicy pol;
-    EngineOptions opts;
-    opts.recordTimeline = true;
-    auto r = eng.run(prog, pol, opts);
+    auto r = eng.run(prog, pol);
 
     // Everything executed exactly once, somewhere.
     ASSERT_EQ(r.instrCount, prog.instrs.size());
     ASSERT_EQ(r.perResource[0] + r.perResource[1] + r.perResource[2],
               r.instrCount);
     ASSERT_EQ(r.latencyUs.count(), prog.instrs.size());
-    ASSERT_EQ(r.completionTrace.size(), prog.instrs.size());
+    const trace::InstructionTimeline tl =
+        trace::instructionTimeline(tracer);
+    ASSERT_EQ(tl.completion.size(), prog.instrs.size());
 
     // Dependence ordering: a consumer never completes before its
     // producers.
     for (const auto &vi : prog.instrs) {
         for (InstrId d : vi.deps) {
-            ASSERT_GE(r.completionTrace[vi.id],
-                      r.completionTrace[d]);
+            ASSERT_GE(tl.completion[vi.id], tl.completion[d]);
         }
     }
 
     // Execution time covers the last completion; energy is positive
     // and split across the two buckets.
     Tick last = 0;
-    for (Tick t : r.completionTrace)
+    for (Tick t : tl.completion)
         last = std::max(last, t);
     ASSERT_GE(r.execTime, last);
     ASSERT_GT(r.energyJ(), 0.0);
@@ -159,7 +171,7 @@ TEST_P(RandomSeeds, RandomProgramsCompleteWithConsistentAccounting)
     // Scalar instructions only ever ran on the controller core.
     for (std::size_t i = 0; i < prog.instrs.size(); ++i) {
         if (!prog.instrs[i].vectorized) {
-            ASSERT_EQ(static_cast<Target>(r.resourceTrace[i]),
+            ASSERT_EQ(static_cast<Target>(tl.resource[i]),
                       Target::Isp);
         }
     }
@@ -169,13 +181,16 @@ TEST_P(RandomSeeds, PolicyChoicesAlwaysRespectCapabilities)
 {
     const Program prog = randomProgram(GetParam() ^ 0xABCD, 80);
     Engine eng(SsdConfig::scaled(1.0 / 256.0));
+    trace::Tracer tracer = occupancyTracer();
+    eng.setTracer(&tracer);
     auto pol = makePolicy(GetParam() % 2 == 0 ? "Conduit"
                                               : "DM-Offloading");
-    EngineOptions opts;
-    opts.recordTimeline = true;
-    auto r = eng.run(prog, *pol, opts);
+    (void)eng.run(prog, *pol);
+    const trace::InstructionTimeline tl =
+        trace::instructionTimeline(tracer);
+    ASSERT_EQ(tl.resource.size(), prog.instrs.size());
     for (std::size_t i = 0; i < prog.instrs.size(); ++i) {
-        const auto t = static_cast<Target>(r.resourceTrace[i]);
+        const auto t = static_cast<Target>(tl.resource[i]);
         const OpCode op = prog.instrs[i].op;
         if (t == Target::Pud)
             ASSERT_TRUE(pudSupports(op)) << opName(op);
@@ -188,15 +203,18 @@ TEST_P(RandomSeeds, FaultReplayPreservesOrderingInvariants)
 {
     const Program prog = randomProgram(GetParam() ^ 0x5EED, 100);
     Engine eng(SsdConfig::scaled(1.0 / 256.0));
+    trace::Tracer tracer = occupancyTracer();
+    eng.setTracer(&tracer);
     ConduitPolicy pol;
     EngineOptions opts;
-    opts.recordTimeline = true;
     opts.transientFaultRate = 0.2;
     auto r = eng.run(prog, pol, opts);
     ASSERT_EQ(r.replays, r.faultsInjected);
+    const trace::InstructionTimeline tl =
+        trace::instructionTimeline(tracer);
     for (const auto &vi : prog.instrs) {
         for (InstrId d : vi.deps)
-            ASSERT_GE(r.completionTrace[vi.id], r.completionTrace[d]);
+            ASSERT_GE(tl.completion[vi.id], tl.completion[d]);
     }
 }
 

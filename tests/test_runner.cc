@@ -66,9 +66,6 @@ expectSameResult(const RunResult &a, const RunResult &b)
         EXPECT_EQ(a.latencyUs.percentile(99.99),
                   b.latencyUs.percentile(99.99));
     }
-    EXPECT_EQ(a.resourceTrace, b.resourceTrace);
-    EXPECT_EQ(a.opTrace, b.opTrace);
-    EXPECT_EQ(a.completionTrace, b.completionTrace);
 }
 
 TEST(SweepRunner, OneThreadAndManyThreadsProduceIdenticalResults)
